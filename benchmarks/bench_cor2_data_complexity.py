@@ -1,0 +1,70 @@
+"""COR-2: RC(S) data complexity is AC0 (operationally: low-degree polynomial).
+
+Corollary 2 of the paper: RC(S) queries have AC0 data complexity — in
+particular polynomial, and neither parity nor connectivity is
+expressible.  We measure a fixed collapsed RC(S) query across a database
+size sweep (fitted exponent should be a small constant, far from
+exponential growth), and verify the parity separator: the parity
+language's minimal DFA is *not* aperiodic, so parity is not an S-definable
+language (the AC0 lower-bound face of the corollary).
+"""
+
+import pytest
+
+from repro.automata import DFA, is_star_free
+from repro.database import random_database
+from repro.eval import DirectEngine
+from repro.logic import parse_formula
+from repro.strings import BINARY
+from repro.structures import S
+
+from _common import fitted_exponent, growth_ratios, measure, print_table
+
+#: A collapsed RC(S) query with one join and a prefix-restricted witness.
+QUERY = parse_formula(
+    "forall adom x: R(x) -> "
+    "(exists adom y: S(y) & y <<= x) | last(x, '1')"
+)
+
+SIZES = [25, 50, 100, 200, 400]
+
+
+def _db(n: int):
+    return random_database(BINARY, {"R": 1, "S": 1}, n, max_len=10, seed=11)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_cor2_rc_s_eval(benchmark, n):
+    engine = DirectEngine(S(BINARY), _db(n), slack=0)
+    benchmark(lambda: engine.decide(QUERY))
+
+
+def test_cor2_polynomial_shape_and_parity(benchmark):
+    def sweep():
+        return [
+            measure(lambda n=n: DirectEngine(S(BINARY), _db(n), slack=0).decide(QUERY))
+            for n in SIZES
+        ]
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    exponent = fitted_exponent(SIZES, times)
+    print_table(
+        "Corollary 2: RC(S) data complexity (polynomial scaling)",
+        ["n", "seconds"],
+        [(n, f"{t:.5f}") for n, t in zip(SIZES, times)],
+    )
+    print(f"fitted exponent: {exponent:.2f} (expected small constant; "
+          f"growth ratios {['%.2f' % r for r in growth_ratios(times)]})")
+    assert exponent < 3.0
+
+    # Parity (even number of 1s) is not aperiodic => not S-definable.
+    parity = DFA(
+        BINARY.symbols,
+        [0, 1],
+        0,
+        [0],
+        {0: {"0": 0, "1": 1}, 1: {"0": 1, "1": 0}},
+    )
+    assert not is_star_free(parity)
+    print("parity language is not star-free -> not expressible in RC(S) "
+          "(the corollary's separator)")

@@ -1,0 +1,105 @@
+"""THM-5 / COR-6: safety of conjunctive queries is decidable.
+
+The decision runs as an S_len sentence (finiteness definable with
+parameters + decidable theory, both via the automata engine over the
+empty database).  We decide a corpus of safe and unsafe CQs, verify each
+verdict empirically on random databases, and benchmark the decision.
+"""
+
+import pytest
+
+from repro.database import random_database
+from repro.logic.dsl import el, last, len_le, prefix, rel, sprefix
+from repro.logic.formulas import TrueF
+from repro.logic.terms import Var
+from repro.safety import ConjunctiveQuery, cq_is_safe, union_is_safe
+from repro.strings import BINARY
+from repro.structures import S, S_len
+
+from _common import print_table
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+CORPUS = [
+    ("Q(x) :- R(x)", ConjunctiveQuery(("x",), (rel("R", "x"),), TrueF()), S, True),
+    (
+        "Q(x) :- R(y), x <<= y",
+        ConjunctiveQuery(("x",), (rel("R", "y"),), prefix(x, y), ("y",)),
+        S,
+        True,
+    ),
+    (
+        "Q(x) :- R(y), y <<= x",
+        ConjunctiveQuery(("x",), (rel("R", "y"),), prefix(y, x), ("y",)),
+        S,
+        False,
+    ),
+    (
+        "Q(x) :- R(y), last(x,'0')",
+        ConjunctiveQuery(("x",), (rel("R", "y"),), last(x, "0"), ("y",)),
+        S,
+        False,
+    ),
+    (
+        "Q(x) :- R(y), el(x,y)",
+        ConjunctiveQuery(("x",), (rel("R", "y"),), el(x, y), ("y",)),
+        S_len,
+        True,
+    ),
+    (
+        "Q(x) :- R(y), |x|<=|y|",
+        ConjunctiveQuery(("x",), (rel("R", "y"),), len_le(x, y), ("y",)),
+        S_len,
+        True,
+    ),
+    (
+        "Q(x,z) :- E(x,y), z << x",
+        ConjunctiveQuery(
+            ("x", "z"), (rel("E", "x", "y"),), sprefix(z, x), ("y",)
+        ),
+        S,
+        True,
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "name,cq,factory,expected", CORPUS, ids=[c[0] for c in CORPUS]
+)
+def test_cor6_decide(benchmark, name, cq, factory, expected):
+    structure = factory(BINARY)
+    got = benchmark(lambda: cq_is_safe(cq, structure))
+    assert got is expected
+
+
+def test_cor6_verdicts_match_reality(benchmark):
+    def check():
+        rows = []
+        for name, cq, factory, expected in CORPUS:
+            structure = factory(BINARY)
+            verdict = cq_is_safe(cq, structure)
+            # Empirically: safe CQs are finite on random DBs; unsafe ones
+            # have a witness database with infinite output.
+            empirical = all(
+                cq.evaluate(
+                    structure,
+                    random_database(BINARY, {"R": 1, "E": 2}, 3, max_len=3, seed=s),
+                ).is_finite()
+                for s in range(2)
+            )
+            consistent = verdict <= empirical  # safe verdict implies finite
+            rows.append((name, "safe" if verdict else "unsafe", consistent))
+        return rows
+
+    rows = benchmark.pedantic(check, rounds=1, iterations=1)
+    print_table(
+        "Corollary 6: CQ safety verdicts",
+        ["conjunctive query", "verdict", "verdict consistent"],
+        rows,
+    )
+    assert all(r[2] for r in rows)
+    # Unions: safe iff all disjuncts safe.
+    safe_cq = CORPUS[0][1]
+    unsafe_cq = CORPUS[2][1]
+    assert union_is_safe([safe_cq, safe_cq], S(BINARY))
+    assert not union_is_safe([safe_cq, unsafe_cq], S(BINARY))

@@ -1,0 +1,80 @@
+"""THM-6 / COR-7: the intermediate calculi keep low data complexity.
+
+Theorem 6 extends the restricted quantifier collapse to RC(S_left) and
+RC(S_reg); Corollary 7 gives AC0 / NC1 data complexity.  We re-run the
+Corollary 2 harness for both intermediate calculi: collapse agreement on
+natural-quantifier sentences, and a polynomial scaling sweep — the shape
+claim is "both intermediate calculi evaluate like RC(S), nothing like the
+exponential RC(S_len) LENGTH domains".
+"""
+
+import pytest
+
+from repro.database import random_database
+from repro.eval import AutomataEngine, DirectEngine, collapse
+from repro.logic import parse_formula
+from repro.strings import BINARY
+from repro.structures import S_left, S_reg
+
+from _common import fitted_exponent, measure, print_table
+
+SENTENCES = {
+    "S_left": "forall x: R(x) -> exists y: eq(add_first(x, '1'), y) & !S(y)",
+    "S_reg": "forall x: R(x) -> matches(x, '(0|1)(0|1)*') | x = eps",
+}
+
+SCALING_QUERIES = {
+    "S_left": "forall adom x: R(x) -> exists adom y: S(y) & eq(add_first(y, '0'), x) | last(x, '1')",
+    "S_reg": "forall adom x: R(x) -> matches(x, '(00)*1(0|1)*') | exists adom y: S(y) & y <<= x",
+}
+
+SIZES = [25, 50, 100, 200]
+
+
+def _structure(name):
+    return {"S_left": S_left, "S_reg": S_reg}[name](BINARY)
+
+
+@pytest.mark.parametrize("name", ["S_left", "S_reg"])
+def test_cor7_collapse_agreement(benchmark, name):
+    structure = _structure(name)
+    formula = parse_formula(SENTENCES[name])
+    q = collapse(formula, structure)
+
+    def check():
+        oks = []
+        for seed in range(3):
+            db = random_database(BINARY, {"R": 1, "S": 1}, 4, max_len=3, seed=seed)
+            natural = AutomataEngine(structure, db).decide(formula)
+            collapsed = DirectEngine(structure, db, slack=min(q.slack, 3)).decide(
+                q.formula
+            )
+            oks.append(natural == collapsed)
+        return oks
+
+    oks = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert all(oks), (name, oks)
+
+
+@pytest.mark.parametrize("name", ["S_left", "S_reg"])
+def test_cor7_scaling(benchmark, name):
+    structure = _structure(name)
+    formula = parse_formula(SCALING_QUERIES[name])
+
+    def sweep():
+        times = []
+        for n in SIZES:
+            db = random_database(BINARY, {"R": 1, "S": 1}, n, max_len=8, seed=13)
+            engine = DirectEngine(structure, db, slack=0)
+            times.append(measure(lambda: engine.decide(formula), repeats=1))
+        return times
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    exponent = fitted_exponent(SIZES, times)
+    print_table(
+        f"Corollary 7: RC({name}) data-complexity sweep",
+        ["n", "seconds"],
+        [(n, f"{t:.5f}") for n, t in zip(SIZES, times)],
+    )
+    print(f"fitted exponent: {exponent:.2f} (polynomial, like RC(S))")
+    assert exponent < 3.0

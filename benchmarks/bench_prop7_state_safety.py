@@ -1,0 +1,72 @@
+"""PROP-7: state-safety is decidable for RC(S) and RC(S_len).
+
+Given ``phi`` and ``D``, "is ``phi(D)`` finite?" is decided by compiling
+query+database to a convolution automaton and testing language
+finiteness.  We benchmark the decision across database sizes and a mixed
+safe/unsafe corpus, asserting every verdict.
+"""
+
+import pytest
+
+from repro.database import random_database
+from repro.logic import parse_formula
+from repro.safety import analyze_state_safety
+from repro.strings import BINARY
+from repro.structures import S, S_len
+
+from _common import fitted_exponent, measure, print_table
+
+CORPUS = [
+    ("S", "R(x)", True),
+    ("S", "exists adom y: x <<= y", True),
+    ("S", "last(x, '0')", False),
+    ("S", "!R(x)", False),
+    ("S", "exists y: R(y) & y <<= x", False),
+    ("S_len", "exists adom y: el(x, y)", True),
+    ("S_len", "exists adom y: len_le(y, x)", False),
+]
+
+SIZES = [2, 4, 8, 16]
+
+
+def _structure(name):
+    return {"S": S, "S_len": S_len}[name](BINARY)
+
+
+@pytest.mark.parametrize(
+    "sname,text,expected", CORPUS, ids=[t for _s, t, _e in CORPUS]
+)
+def test_prop7_decide(benchmark, sname, text, expected):
+    structure = _structure(sname)
+    db = random_database(BINARY, {"R": 1}, 5, max_len=4, seed=9)
+    report = benchmark(
+        lambda: analyze_state_safety(parse_formula(text), structure, db)
+    )
+    assert report.safe is expected
+
+
+def test_prop7_decision_scaling(benchmark):
+    formula = parse_formula("exists adom y: x <<= y")
+    structure = S(BINARY)
+
+    def sweep():
+        times = []
+        for n in SIZES:
+            db = random_database(BINARY, {"R": 1}, n, max_len=6, seed=4)
+            times.append(
+                measure(
+                    lambda db=db: analyze_state_safety(formula, structure, db),
+                    repeats=1,
+                )
+            )
+        return times
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    exponent = fitted_exponent(SIZES, times)
+    print_table(
+        "Proposition 7: state-safety decision cost",
+        ["db tuples", "seconds"],
+        [(n, f"{t:.5f}") for n, t in zip(SIZES, times)],
+    )
+    print(f"fitted exponent: {exponent:.2f} (polynomial decision procedure)")
+    assert exponent < 3.5

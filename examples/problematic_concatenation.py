@@ -1,0 +1,75 @@
+"""Section 3, live: why concatenation breaks the theory.
+
+* Proposition 1: RC_concat expresses every computable query.  We encode a
+  Turing machine's accepting computations as strings and *check the
+  logical formula* against genuine and corrupted histories.
+* Corollary 1: state-safety is undecidable.  We build the PCP reduction
+  and watch the bounded tools do the best that is possible.
+
+Run with::
+
+    python examples/problematic_concatenation.py
+"""
+
+from repro import Alphabet
+from repro.concat import (
+    BoundedConcatEngine,
+    PcpInstance,
+    acceptance_formula,
+    accepts_via_formula,
+    encode_history,
+    encode_solution,
+    is_witness,
+    parity_machine,
+    solve_pcp,
+    witness_formula,
+)
+
+
+def main() -> None:
+    print("== Proposition 1: a TM inside RC_concat ==")
+    tm = parity_machine()
+    alphabet = Alphabet("01BeoA$")
+    print("machine: accepts binary strings with an even number of 1s")
+    print("(parity is NOT expressible in RC(S) -- Corollary 2 -- but any")
+    print(" computable query fits in RC_concat)")
+    for tape in ["0110", "11", "1"]:
+        history = tm.run(tape)
+        if history is None:
+            print(f"  input {tape!r}: machine rejects (no accepting history)")
+            continue
+        encoded = encode_history(history)
+        ok = accepts_via_formula(tm, tape, encoded, alphabet)
+        print(f"  input {tape!r}: history {encoded}")
+        print(f"    formula accepts the genuine history: {ok}")
+        corrupted = encoded.replace("A", "o")
+        print(
+            f"    formula rejects a corrupted history:  "
+            f"{not accepts_via_formula(tm, tape, corrupted, alphabet)}"
+        )
+    print()
+
+    print("== Corollary 1: PCP -> state-safety ==")
+    instance = PcpInstance((("1", "111"), ("10111", "10"), ("10", "0")))
+    print(f"classic PCP instance: {instance.pairs}")
+    solution = solve_pcp(instance, max_length=30)
+    print(f"BFS search finds solution indices: {solution}")
+    witness = encode_solution(instance, solution)
+    print(f"witness string: {witness}")
+    print(f"direct validation: {is_witness(instance, witness)}")
+    engine = BoundedConcatEngine(Alphabet("01$%"), mode="factors")
+    formula = witness_formula(instance)
+    print(f"RC_concat witness formula holds: "
+          f"{engine.holds(formula, {'x': witness})}")
+    print(f"...and rejects a corrupted witness: "
+          f"{not engine.holds(formula, {'x': witness[:-2] + '1$'})}")
+    print()
+    print("The query psi(y) = y = y & exists x: witness(x) is unsafe exactly")
+    print("when the instance is solvable -- so deciding state-safety for")
+    print("RC_concat would decide PCP. No effective syntax, no safe algebra,")
+    print("no terminating engine: the reason the paper replaces concatenation")
+    print("with the tame structures S, S_left, S_reg, S_len.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Quickstart: the string calculi in five minutes.
+
+Run with::
+
+    python examples/quickstart.py
+
+Covers: building a database, the paper's Section 2 query, the four
+languages and their signatures, safety, and the algebra compiler.
+"""
+
+from repro import Query, StringDatabase, UnsafeQueryError
+
+
+def main() -> None:
+    # A database over the binary alphabet: one unary and one binary relation.
+    db = StringDatabase(
+        "01",
+        {
+            "R": {"0110", "001", "11", "010"},
+            "E": {("0", "01"), ("01", "010"), ("11", "0110")},
+        },
+    )
+    print(f"database: {db}")
+    print(f"active domain: {sorted(db.adom)}")
+    print(f"width (longest prefix chain in adom): {db.width()}")
+    print()
+
+    # ---- The paper's Section 2 example: strings in R ending with "10".
+    q = Query("R(x) & last(x, '0') & exists y: ext1(y, x) & last(y, '1')")
+    print(f"query: {q}")
+    print(f"strings in R ending with 10: {q.run(db).rows()}")
+    print()
+
+    # ---- Composition: prefixes of R-strings (output goes beyond adom!).
+    prefixes = Query("exists adom y: R(y) & x <<= y")
+    print(f"all prefixes of R-strings: {prefixes.run(db).rows()}")
+    print()
+
+    # ---- SQL LIKE is star-free, hence RC(S):
+    like = Query('R(x) & matches(x, "0(0|1)*")')  # LIKE '0%'
+    print(f"R-strings LIKE '0%': {like.run(db).rows()}")
+
+    # ---- SIMILAR-style regular patterns need RC(S_reg):
+    similar = Query('R(x) & matches(x, "(01)*0?")', structure="S_reg")
+    print(f"R-strings SIMILAR TO '(01)*0?': {similar.run(db).rows()}")
+
+    # ---- Length comparison needs RC(S_len):
+    equal_len = Query(
+        "R(x) & R(y) & el(x, y) & !eq(x, y)", structure="S_len"
+    )
+    print(f"distinct equal-length pairs in R: {equal_len.run(db).rows()}")
+    print()
+
+    # ---- SELECT a.x FROM R: inexpressible in RC(S), easy in RC(S_left).
+    prepend = Query(
+        "exists adom x: R(x) & eq(add_first(x, '1'), y)", structure="S_left"
+    )
+    print(f"SELECT '1'.x FROM R: {prepend.run(db).rows()}")
+    print()
+
+    # ---- Safety: finite vs infinite outputs (Proposition 7 decides it).
+    unsafe = Query("last(x, '0')")
+    print(f"is `last(x, '0')` safe on db? {unsafe.is_safe_on(db)}")
+    try:
+        unsafe.run(db)
+    except UnsafeQueryError as exc:
+        print(f"materializing it raises: {exc}")
+    print(f"but we can sample the (regular) output: {unsafe.run(db, limit=5).rows()}")
+    print()
+
+    # ---- Compile a safe query to the relational algebra RA(S) (Theorem 4).
+    compiled = q.to_algebra(db.schema)
+    print("compiled RA(S) plan:")
+    print(f"  {compiled.plan}")
+    print(f"  evaluates to: {sorted(compiled.evaluate(db.db))}")
+
+
+if __name__ == "__main__":
+    main()

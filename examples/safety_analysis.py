@@ -1,0 +1,91 @@
+"""Tour of the safety machinery (paper Section 6).
+
+* state-safety (Proposition 7): is this query's output finite *here*?
+* range restriction (Theorem 3): a safe query equivalent on safe inputs;
+* conjunctive-query safety (Corollary 6): finite on *every* database?
+* effective syntax (Corollary 5): enumerating safe queries;
+* the RC_concat contrast (Corollary 1): safety undecidable.
+
+Run with::
+
+    python examples/safety_analysis.py
+"""
+
+from repro import Query, StringDatabase, UndecidableError
+from repro.concat import PcpInstance, decide_state_safety, safety_reduction, solve_pcp
+from repro.database import Database
+from repro.logic.dsl import prefix, rel
+from repro.logic.formulas import TrueF
+from repro.logic.terms import Var
+from repro.safety import ConjunctiveQuery, cq_is_safe, enumerate_safe_queries
+from repro.strings import BINARY
+from repro.structures import S
+
+
+def main() -> None:
+    db = StringDatabase("01", {"R": {"0110", "001"}, "S": {"0"}})
+
+    print("== State-safety (Proposition 7) ==")
+    for text in [
+        "R(x)",
+        "exists adom y: x <<= y",  # prefixes: safe
+        "last(x, '0')",  # all strings ending in 0: unsafe
+        "!R(x)",  # complement: unsafe
+        "exists y: R(y) & el(x, y)",  # S_len, safe but exponential-ish
+    ]:
+        structure = "S_len" if "el(" in text else "S"
+        q = Query(text, structure=structure)
+        report = q.safety_report(db)
+        size = report.output_size if report.safe else "infinite"
+        print(f"  {text!r:45s} safe={report.safe!s:5s} |output|={size}")
+    print()
+
+    print("== Range restriction (Theorem 3) ==")
+    q = Query("exists adom y: x <<= y")
+    rr = q.range_restricted(slack=0)
+    print(f"  query: {q}")
+    print(f"  gamma-slack k = {rr.slack}")
+    print(f"  (gamma, phi)(D) = {sorted(rr.evaluate(db.db))}")
+    print(f"  agrees with phi on this (safe) instance: "
+          f"{rr.agrees_with_original_on(db.db)}")
+    unsafe = Query("last(x, '0')").range_restricted(slack=1)
+    print(f"  unsafe query's range-restricted output (finite by construction):")
+    print(f"    {sorted(unsafe.evaluate(db.db))}")
+    print()
+
+    print("== Conjunctive-query safety over ALL databases (Corollary 6) ==")
+    examples = [
+        ("Q(x) :- R(x)", ConjunctiveQuery(("x",), (rel("R", "x"),), TrueF())),
+        (
+            "Q(x) :- R(y), x <<= y",
+            ConjunctiveQuery(("x",), (rel("R", "y"),), prefix(Var("x"), Var("y")), ("y",)),
+        ),
+        (
+            "Q(x) :- R(y), y <<= x",
+            ConjunctiveQuery(("x",), (rel("R", "y"),), prefix(Var("y"), Var("x")), ("y",)),
+        ),
+    ]
+    for text, cq in examples:
+        print(f"  {text:30s} safe-for-all-D = {cq_is_safe(cq, S(BINARY))}")
+    print()
+
+    print("== Effective syntax (Corollary 5): first safe queries ==")
+    for i, safe_q in enumerate(enumerate_safe_queries(S(BINARY), db.schema, limit=6)):
+        print(f"  #{i}: gamma_k with k={safe_q.slack}, phi = {safe_q.formula}")
+    print()
+
+    print("== The RC_concat contrast (Corollary 1) ==")
+    instance = PcpInstance((("1", "111"), ("10111", "10"), ("10", "0")))
+    psi = safety_reduction(instance)
+    print(f"  PCP reduction query: psi(y) = {str(psi)[:70]}...")
+    try:
+        decide_state_safety(psi, Database(BINARY, {}))
+    except UndecidableError as exc:
+        print(f"  decide_state_safety raises: {exc}")
+    solution = solve_pcp(instance, max_length=20)
+    print(f"  BFS semi-decision finds the classic solution: {solution}")
+    print("  -> psi is UNSAFE for this instance (output = Sigma*)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Proposition 5 in action: graph 3-colorability as an RC(S_len) query.
+
+The paper: RC(S_len) expresses all MSO queries over bounded-width
+databases — so it contains NP-complete queries, and evaluating them costs
+the exponential LENGTH-domain enumeration that Theorem 2 proves
+unavoidable.  This example encodes graphs as width-1 string databases,
+runs the 3-colorability sentence, and compares against brute force.
+
+Run with::
+
+    python examples/three_colorability.py
+"""
+
+import time
+
+from repro.database import (
+    complete_graph,
+    cycle_graph,
+    graph_database,
+    random_graph,
+)
+from repro.mso import (
+    is_three_colorable_bruteforce,
+    is_three_colorable_via_rc_slen,
+    three_colorability_sentence,
+)
+from repro.strings import BINARY
+
+
+def main() -> None:
+    print("The RC(S_len) 3-colorability sentence:")
+    sentence = str(three_colorability_sentence())
+    print(f"  {sentence[:100]}...")
+    print(f"  ({len(sentence)} characters; three length-restricted color strings)")
+    print()
+
+    cases = [
+        ("triangle K3", 3, complete_graph(3)),
+        ("K4", 4, complete_graph(4)),
+        ("4-cycle", 4, cycle_graph(4)),
+        ("5-cycle", 5, cycle_graph(5)),
+        ("random(5, p=0.5)", 5, random_graph(5, 0.5, seed=1)),
+    ]
+    print(f"{'graph':20s} {'vertices':>8s} {'3-col?':>7s} {'RC(S_len) time':>15s}")
+    for name, n, edges in cases:
+        db = graph_database(n, edges, BINARY)
+        assert db.width() == 1  # the Prop 5 width bound
+        t0 = time.perf_counter()
+        got = is_three_colorable_via_rc_slen(db)
+        elapsed = time.perf_counter() - t0
+        expected = is_three_colorable_bruteforce(n, edges)
+        assert got == expected
+        print(f"{name:20s} {n:8d} {str(got):>7s} {elapsed:13.3f}s")
+    print()
+    print("Note how the RC(S_len) time explodes with the vertex count while")
+    print("brute force stays trivial: the query quantifies color strings")
+    print("over the LENGTH domain (all of Sigma^{<=n}), which is exactly the")
+    print("exponential 'down' operator cost the paper calls unavoidable.")
+
+
+if __name__ == "__main__":
+    main()

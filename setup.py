@@ -1,0 +1,7 @@
+"""Legacy setup shim (this environment lacks the ``wheel`` package, so the
+PEP 660 editable-install path is unavailable; ``pip install -e .`` uses
+``setup.py develop`` instead)."""
+
+from setuptools import setup
+
+setup()

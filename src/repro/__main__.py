@@ -1,0 +1,148 @@
+"""Command-line interface: run string-calculus queries against JSON databases.
+
+Usage::
+
+    python -m repro run "R(x) & last(x, '0')" --db db.json
+    python -m repro run "el(x, y)" --db db.json --structure S_len --limit 5
+    python -m repro safety "last(x, '0')" --db db.json
+    python -m repro sql "SELECT r.1 FROM R r WHERE r.1 LIKE '0%'" --db db.json
+    python -m repro language "matches(x, '(00)*')" --structure S_reg
+
+Database JSON format::
+
+    {"alphabet": "01", "relations": {"R": [["0110"], ["001"]]}}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro import Query, StringDatabase
+from repro.core.query import definable_language, language_is_star_free
+from repro.errors import ReproError, UnsafeQueryError
+from repro.eval import DirectEngine
+from repro.sql import translate_select
+from repro.structures import by_name
+from repro.strings import Alphabet
+
+
+def load_database(path: str) -> StringDatabase:
+    with open(path) as f:
+        spec = json.load(f)
+    relations = {
+        name: [tuple(row) for row in rows]
+        for name, rows in spec.get("relations", {}).items()
+    }
+    return StringDatabase(spec.get("alphabet", "01"), relations)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    db = load_database(args.db)
+    q = Query(args.query, structure=args.structure, alphabet=db.alphabet)
+    table = q.run(db, engine=args.engine, limit=args.limit)
+    print("\t".join(table.columns))
+    for row in table:
+        print("\t".join(row))
+    return 0
+
+
+def cmd_safety(args: argparse.Namespace) -> int:
+    db = load_database(args.db)
+    q = Query(args.query, structure=args.structure, alphabet=db.alphabet)
+    report = q.safety_report(db)
+    if report.safe:
+        print(f"SAFE: finite output with {report.output_size} tuples")
+    else:
+        sample = [t for t in report.result.tuples(limit=3)]
+        print(f"UNSAFE: infinite output; sample {sample}")
+    return 0
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    db = load_database(args.db)
+    translated = translate_select(args.query, db.schema)
+    print(f"-- calculus ({translated.structure_name}): {translated.formula}",
+          file=sys.stderr)
+    structure = by_name(translated.structure_name, db.alphabet)
+    result = DirectEngine(structure, db.db).run(translated.formula)
+    mapping = {v: i for i, v in enumerate(result.variables)}
+    print("\t".join(translated.output_variables))
+    for row in sorted(result.as_set()):
+        print("\t".join(row[mapping[v]] for v in translated.output_variables))
+    return 0
+
+
+def cmd_language(args: argparse.Namespace) -> int:
+    alphabet = Alphabet(args.alphabet)
+    q = Query(args.query, structure=args.structure, alphabet=alphabet)
+    dfa = definable_language(q)
+    star_free = language_is_star_free(q)
+    print(f"minimal DFA: {dfa.num_states} states")
+    print(f"star-free: {star_free}")
+    print(f"finite: {dfa.is_finite_language()}")
+    sample = list(dfa.iter_strings(max_length=4))[:10]
+    print(f"sample (len<=4): {sample}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="String-calculus queries (PODS 2001 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, with_db=True):
+        p.add_argument("query")
+        if with_db:
+            p.add_argument("--db", required=True, help="JSON database file")
+        p.add_argument(
+            "--structure",
+            default="S",
+            choices=["S", "S_left", "S_reg", "S_len", "S_insert"],
+        )
+
+    p_run = sub.add_parser("run", help="evaluate a calculus query")
+    common(p_run)
+    p_run.add_argument("--engine", default="automata", choices=["automata", "direct"])
+    p_run.add_argument("--limit", type=int, default=None,
+                       help="sample size for infinite outputs")
+    p_run.set_defaults(func=cmd_run)
+
+    p_safety = sub.add_parser("safety", help="decide state-safety (Prop 7)")
+    common(p_safety)
+    p_safety.set_defaults(func=cmd_safety)
+
+    p_sql = sub.add_parser("sql", help="run a mini-SQL SELECT")
+    p_sql.add_argument("query")
+    p_sql.add_argument("--db", required=True)
+    p_sql.set_defaults(func=cmd_sql)
+
+    p_lang = sub.add_parser(
+        "language", help="analyze the language a unary query defines"
+    )
+    common(p_lang, with_db=False)
+    p_lang.add_argument("--alphabet", default="01")
+    p_lang.set_defaults(func=cmd_language)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except UnsafeQueryError as exc:
+        print(f"error: {exc} (use --limit to sample, or `safety` to inspect)",
+              file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

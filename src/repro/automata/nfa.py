@@ -1,0 +1,155 @@
+"""Nondeterministic finite automata with epsilon transitions.
+
+Used as the intermediate form for Thompson construction (regexes) and for
+the projection step of convolution automata (which is inherently
+nondeterministic); :meth:`NFA.determinize` converts back to :class:`DFA`
+by the subset construction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Sequence
+from typing import Optional
+
+from repro.automata.dfa import DFA
+
+Symbol = Hashable
+State = Hashable
+
+
+class _Epsilon:
+    """Singleton label for epsilon transitions."""
+
+    _instance: Optional["_Epsilon"] = None
+
+    def __new__(cls) -> "_Epsilon":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "EPSILON"
+
+
+#: The epsilon transition label.
+EPSILON = _Epsilon()
+
+
+class NFA:
+    """A nondeterministic finite automaton with epsilon moves.
+
+    Parameters
+    ----------
+    alphabet:
+        Symbols of the language (``EPSILON`` must not be listed).
+    states, starts, accepting:
+        State sets; multiple start states are allowed.
+    transitions:
+        Mapping ``state -> {label -> set of states}`` where a label is a
+        symbol or ``EPSILON``.
+    """
+
+    __slots__ = ("alphabet", "states", "starts", "accepting", "transitions")
+
+    def __init__(
+        self,
+        alphabet: Iterable[Symbol],
+        states: Iterable[State],
+        starts: Iterable[State],
+        accepting: Iterable[State],
+        transitions: dict[State, dict[Symbol, set[State]]],
+    ):
+        self.alphabet = frozenset(alphabet)
+        if EPSILON in self.alphabet:
+            raise ValueError("EPSILON may not be an alphabet symbol")
+        self.states = frozenset(states)
+        self.starts = frozenset(starts)
+        self.accepting = frozenset(accepting)
+        self.transitions = {
+            q: {sym: set(targets) for sym, targets in delta.items() if targets}
+            for q, delta in transitions.items()
+        }
+
+    @classmethod
+    def from_dfa(cls, dfa: DFA) -> "NFA":
+        """View a DFA as an NFA (shared alphabet and state names)."""
+        transitions = {
+            q: {sym: {t} for sym, t in delta.items()}
+            for q, delta in dfa.transitions.items()
+        }
+        return cls(dfa.alphabet, dfa.states, [dfa.start], dfa.accepting, transitions)
+
+    # ------------------------------------------------------------------ runs
+
+    def epsilon_closure(self, states: Iterable[State]) -> frozenset[State]:
+        """All states reachable from ``states`` via epsilon moves."""
+        closure = set(states)
+        queue = deque(closure)
+        while queue:
+            q = queue.popleft()
+            for t in self.transitions.get(q, {}).get(EPSILON, ()):  # type: ignore[arg-type]
+                if t not in closure:
+                    closure.add(t)
+                    queue.append(t)
+        return frozenset(closure)
+
+    def move(self, states: Iterable[State], symbol: Symbol) -> frozenset[State]:
+        """One-symbol successor set (without closing under epsilon)."""
+        out: set[State] = set()
+        for q in states:
+            out |= self.transitions.get(q, {}).get(symbol, set())
+        return frozenset(out)
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        current = self.epsilon_closure(self.starts)
+        for sym in word:
+            current = self.epsilon_closure(self.move(current, sym))
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+    # --------------------------------------------------------- constructions
+
+    def determinize(self) -> DFA:
+        """Subset construction; the result is canonical and trimmed."""
+        start = self.epsilon_closure(self.starts)
+        seen: dict[frozenset[State], int] = {start: 0}
+        transitions: dict[State, dict[Symbol, State]] = {}
+        accepting: set[int] = set()
+        queue = deque([start])
+        if start & self.accepting:
+            accepting.add(0)
+        while queue:
+            subset = queue.popleft()
+            sid = seen[subset]
+            delta: dict[Symbol, State] = {}
+            for sym in self.alphabet:
+                target = self.epsilon_closure(self.move(subset, sym))
+                if not target:
+                    continue
+                if target not in seen:
+                    seen[target] = len(seen)
+                    queue.append(target)
+                    if target & self.accepting:
+                        accepting.add(seen[target])
+                delta[sym] = seen[target]
+            if delta:
+                transitions[sid] = delta
+        return DFA(self.alphabet, range(len(seen)), 0, accepting, transitions)
+
+    def to_min_dfa(self) -> DFA:
+        """Determinize then minimize (the usual pipeline)."""
+        return self.determinize().minimize()
+
+    def reversed(self) -> "NFA":
+        """NFA for the reversal of the language."""
+        transitions: dict[State, dict[Symbol, set[State]]] = {}
+        for q, delta in self.transitions.items():
+            for sym, targets in delta.items():
+                for t in targets:
+                    transitions.setdefault(t, {}).setdefault(sym, set()).add(q)
+        return NFA(self.alphabet, self.states, self.accepting, self.starts, transitions)
+
+    def __repr__(self) -> str:
+        return f"NFA(states={len(self.states)}, alphabet={len(self.alphabet)})"

@@ -1,0 +1,79 @@
+"""Boolean operations and equivalence on DFAs (product constructions)."""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+from repro.automata.dfa import DFA
+
+
+def _product(left: DFA, right: DFA, keep: Callable[[bool, bool], bool]) -> DFA:
+    """Lazy product construction over the union alphabet.
+
+    ``keep(in_left, in_right)`` decides acceptance of a product state.
+    Missing transitions are treated as moves to an (implicit) rejecting
+    dead state, which the construction materializes as ``None`` components.
+    """
+    alphabet = left.alphabet | right.alphabet
+    lt = left.completed()
+    rt = right.completed()
+    # Completed automata may still lack symbols absent from their own
+    # alphabet; treat those as dead.
+    start = (lt.start, rt.start)
+    seen = {start: 0}
+    transitions: dict[int, dict[object, int]] = {}
+    accepting: set[int] = set()
+    queue = deque([start])
+
+    def is_acc(pair) -> bool:
+        lq, rq = pair
+        return keep(lq in lt.accepting, rq in rt.accepting)
+
+    if is_acc(start):
+        accepting.add(0)
+    while queue:
+        pair = queue.popleft()
+        sid = seen[pair]
+        lq, rq = pair
+        delta: dict[object, int] = {}
+        for sym in alphabet:
+            ltarget = lt.step(lq, sym) if lq is not None else None
+            rtarget = rt.step(rq, sym) if rq is not None else None
+            target = (ltarget, rtarget)
+            if ltarget is None and rtarget is None:
+                continue
+            if target not in seen:
+                seen[target] = len(seen)
+                queue.append(target)
+                if is_acc(target):
+                    accepting.add(seen[target])
+            delta[sym] = seen[target]
+        if delta:
+            transitions[sid] = delta
+    return DFA(alphabet, range(len(seen)), 0, accepting, transitions)
+
+
+def intersection(left: DFA, right: DFA) -> DFA:
+    """DFA for ``L(left) & L(right)``."""
+    return _product(left, right, lambda a, b: a and b).trim_unreachable()
+
+
+def union(left: DFA, right: DFA) -> DFA:
+    """DFA for ``L(left) | L(right)``."""
+    return _product(left, right, lambda a, b: a or b).trim_unreachable()
+
+
+def difference(left: DFA, right: DFA) -> DFA:
+    """DFA for ``L(left) \\ L(right)``."""
+    return _product(left, right, lambda a, b: a and not b).trim_unreachable()
+
+
+def symmetric_difference_empty(left: DFA, right: DFA) -> bool:
+    """True iff the two automata accept exactly the same language."""
+    return _product(left, right, lambda a, b: a != b).is_empty()
+
+
+def equivalent(left: DFA, right: DFA) -> bool:
+    """Language equivalence over the union alphabet."""
+    return symmetric_difference_empty(left, right)

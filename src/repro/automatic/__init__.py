@@ -1,0 +1,41 @@
+"""Automatic-structure engine: string relations as convolution automata.
+
+Every structure in the paper — S, S_len, S_left, S_reg — is an *automatic
+structure*: each of its atomic relations (prefix, equal length, last-symbol,
+the graphs of ``l_a``/``f_a``/``TRIM_a``, the ``P_L`` pattern predicates,
+lexicographic order) is recognizable by a finite automaton reading all
+argument strings **synchronously**, one position at a time, with a padding
+symbol once a shorter argument is exhausted.
+
+First-order logic over an automatic structure is decidable by closing the
+class of such automata under boolean operations and projection.  This
+package provides:
+
+* the convolution encoding of string tuples (:mod:`repro.automatic.convolution`),
+* the :class:`~repro.automatic.relation.RelationAutomaton` closure operations,
+* presentations of every atomic relation used in the paper
+  (:mod:`repro.automatic.presentations`).
+
+The evaluation engine in :mod:`repro.eval.automata_engine` builds on this to
+give an exact, always-terminating reference semantics for every calculus of
+the paper (and powers the decidability results: Proposition 7, Theorem 5,
+Corollary 6).
+
+Notably absent: the graph of *concatenation* ``{(x, y, x.y)}`` is **not** a
+synchronized-rational relation, which is the automata-theoretic face of the
+paper's Section 3 — adding concatenation destroys every nice property.
+"""
+
+from repro.automatic.convolution import PAD, columns, convolve, deconvolve, valid_pad_dfa
+from repro.automatic.relation import RelationAutomaton
+from repro.automatic import presentations
+
+__all__ = [
+    "PAD",
+    "RelationAutomaton",
+    "columns",
+    "convolve",
+    "deconvolve",
+    "presentations",
+    "valid_pad_dfa",
+]

@@ -1,0 +1,47 @@
+"""RC_concat: the problematic concatenation calculus (paper Section 3).
+
+Proposition 1 (computational completeness, via Turing-machine histories)
+and Corollary 1 (undecidable state-safety, via PCP) as runnable artifacts.
+"""
+
+from repro.concat.pcp import (
+    PcpInstance,
+    encode_solution,
+    is_witness,
+    safety_reduction,
+    solve_pcp,
+    witness_formula,
+)
+from repro.concat.structure import (
+    BoundedConcatEngine,
+    ConcatTerm,
+    concat,
+    decide_state_safety,
+)
+from repro.concat.turing import (
+    TuringMachine,
+    acceptance_formula,
+    accepts_via_formula,
+    encode_history,
+    parity_machine,
+    step_formula,
+)
+
+__all__ = [
+    "BoundedConcatEngine",
+    "ConcatTerm",
+    "PcpInstance",
+    "TuringMachine",
+    "acceptance_formula",
+    "accepts_via_formula",
+    "concat",
+    "decide_state_safety",
+    "encode_history",
+    "encode_solution",
+    "is_witness",
+    "parity_machine",
+    "safety_reduction",
+    "solve_pcp",
+    "step_formula",
+    "witness_formula",
+]

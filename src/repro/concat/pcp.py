@@ -1,0 +1,268 @@
+"""Corollary 1 via Post's Correspondence Problem.
+
+A PCP instance is a list of pairs ``(w_i, v_i)``; a solution is a nonempty
+index sequence with ``w_{i1}...w_{ik} = v_{i1}...v_{ik}``.  PCP is
+undecidable, and it reduces to state-safety of RC_concat queries:
+
+* a solution is encoded as the *witness string*
+  ``$u1%v1$u2%v2$...$uk%vk$`` listing the partial concatenations;
+* :func:`witness_formula` is the RC_concat formula, built only from
+  concatenation and equality, that holds exactly of valid witness strings
+  (first block correct, adjacent blocks extend by one pair, last block
+  balanced);
+* :func:`safety_reduction` wraps it as a query ``psi(y) = exists x:
+  witness(x)`` whose output is ``Sigma*`` (infinite — unsafe) when the
+  instance is solvable and empty (safe) otherwise.
+
+Hence a state-safety decider for RC_concat would solve PCP — Corollary 1.
+All quantifiers in these formulas only ever need *factor* witnesses, so
+the ``factors`` mode of
+:class:`~repro.concat.structure.BoundedConcatEngine` checks them exactly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.concat.structure import ConcatTerm, concat
+from repro.logic.dsl import and_, eq, not_, or_
+from repro.logic.formulas import Exists, Forall, Formula, QuantKind
+from repro.logic.terms import StrConst, Var
+
+#: Markers used by the witness encoding; they must not occur in the
+#: instance's alphabet.
+BLOCK = "$"
+SEP = "%"
+
+
+@dataclass(frozen=True)
+class PcpInstance:
+    """A PCP instance: pairs of nonempty strings over a marker-free alphabet."""
+
+    pairs: tuple[tuple[str, str], ...]
+
+    def __post_init__(self):
+        for w, v in self.pairs:
+            if BLOCK in w + v or SEP in w + v:
+                raise ValueError(f"pair ({w!r}, {v!r}) uses a reserved marker")
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+def solve_pcp(instance: PcpInstance, max_length: int = 40) -> Optional[list[int]]:
+    """Breadth-first semi-decision for PCP (bounded by overhang length).
+
+    Returns a solution index sequence, or ``None`` if none exists within
+    the search bound.  (Unbounded search would be the true semi-decision
+    procedure; PCP's undecidability means no bound always suffices.)
+    """
+    # State: the overhang string and which side it is on (+1 top, -1 bottom).
+    start_states = []
+    for i, (w, v) in enumerate(instance.pairs):
+        if w.startswith(v):
+            start_states.append((w[len(v):], 1, [i]))
+        elif v.startswith(w):
+            start_states.append((v[len(w):], -1, [i]))
+    queue = deque(start_states)
+    seen: set[tuple[str, int]] = set()
+    while queue:
+        overhang, side, path = queue.popleft()
+        if overhang == "" and path:
+            return path
+        if (overhang, side) in seen or len(overhang) > max_length:
+            continue
+        seen.add((overhang, side))
+        for i, (w, v) in enumerate(instance.pairs):
+            if side == 1:  # top is ahead by `overhang`
+                top = overhang + w
+                bottom = v
+            else:
+                top = w
+                bottom = overhang + v
+            if top.startswith(bottom):
+                queue.append((top[len(bottom):], 1, path + [i]))
+            elif bottom.startswith(top):
+                queue.append((bottom[len(top):], -1, path + [i]))
+    return None
+
+
+def encode_solution(instance: PcpInstance, indices: Sequence[int]) -> str:
+    """The witness string for a solution index sequence."""
+    u = v = ""
+    blocks = []
+    for i in indices:
+        w, vv = instance.pairs[i]
+        u += w
+        v += vv
+        blocks.append(f"{u}{SEP}{v}")
+    return BLOCK + BLOCK.join(blocks) + BLOCK
+
+
+def is_witness(instance: PcpInstance, x: str) -> bool:
+    """Direct (non-logical) check that ``x`` is a valid witness string."""
+    if len(x) < 2 or not x.startswith(BLOCK) or not x.endswith(BLOCK):
+        return False
+    body = x[1:-1]
+    if not body:
+        return False
+    blocks = body.split(BLOCK)
+    pairs = []
+    for block in blocks:
+        if block.count(SEP) != 1:
+            return False
+        u, v = block.split(SEP)
+        if BLOCK in u or BLOCK in v:
+            return False
+        pairs.append((u, v))
+    # First block must be one of the instance pairs.
+    if pairs[0] not in instance.pairs:
+        return False
+    for (u, v), (u2, v2) in zip(pairs, pairs[1:]):
+        if not any(
+            u2 == u + w and v2 == v + vv for (w, vv) in instance.pairs
+        ):
+            return False
+    return pairs[-1][0] == pairs[-1][1]
+
+
+# ----------------------------------------------------------- the formulas
+
+
+def _marker_free(var: str) -> Formula:
+    """``var`` contains neither marker (via concat decompositions)."""
+    a, b = f"_{var}a", f"_{var}b"
+
+    def contains(marker: str) -> Formula:
+        inner = eq(Var(var), concat(Var(a), marker, Var(b)))
+        return Exists(a, Exists(b, inner, QuantKind.NATURAL), QuantKind.NATURAL)
+
+    return and_(not_(contains(BLOCK)), not_(contains(SEP)))
+
+
+def _well_formed(var: str) -> Formula:
+    """Every maximal ``$``-free factor between two ``$`` markers of ``var``
+    has the shape ``u%v`` with ``u, v`` percent-free.
+
+    This pins the block decomposition uniquely, so the adjacency constraint
+    below really ranges over *all* consecutive blocks (without it, garbage
+    segments could make adjacency vacuously true).
+    """
+    x = Var(var)
+    z, p, q = "_z", "_wp", "_wq"
+    shape = eq(x, concat(Var(p), BLOCK, Var(z), BLOCK, Var(q)))
+    a, b = "_wa", "_wb"
+    z_has_block = Exists(
+        a,
+        Exists(b, eq(Var(z), concat(Var(a), BLOCK, Var(b))), QuantKind.NATURAL),
+        QuantKind.NATURAL,
+    )
+    u, v = "_wu", "_wv"
+
+    def percent_free(name: str, tag: str) -> Formula:
+        c, d = f"_{tag}c", f"_{tag}d"
+        return not_(
+            Exists(
+                c,
+                Exists(d, eq(Var(name), concat(Var(c), SEP, Var(d))), QuantKind.NATURAL),
+                QuantKind.NATURAL,
+            )
+        )
+
+    z_is_pair = Exists(
+        u,
+        Exists(
+            v,
+            and_(
+                eq(Var(z), concat(Var(u), SEP, Var(v))),
+                percent_free(u, "u"),
+                percent_free(v, "v"),
+            ),
+            QuantKind.NATURAL,
+        ),
+        QuantKind.NATURAL,
+    )
+    body: Formula = and_(shape, not_(z_has_block)).implies(z_is_pair)
+    for name in [q, z, p]:
+        body = Forall(name, body, QuantKind.NATURAL)
+    return body
+
+
+def witness_formula(instance: PcpInstance, var: str = "x") -> Formula:
+    """The RC_concat formula "``var`` encodes a PCP solution".
+
+    Built from concatenation, equality and (natural) quantification only —
+    exactly the vocabulary of Section 3's RC_concat.
+    """
+    x = Var(var)
+
+    # (1) First block: x = $w_i%v_i$q for some pair i.
+    first = or_(
+        *[
+            Exists(
+                "_q",
+                eq(x, concat(BLOCK + w + SEP + v + BLOCK, Var("_q"))),
+                QuantKind.NATURAL,
+            )
+            for (w, v) in instance.pairs
+        ]
+    )
+
+    # (2) Last block balanced: x = p$u%u$ with u marker-free.
+    last = Exists(
+        "_p",
+        Exists(
+            "_u",
+            and_(
+                eq(x, concat(Var("_p"), BLOCK, Var("_u"), SEP, Var("_u"), StrConst(BLOCK))),
+                _marker_free("_u"),
+            ),
+            QuantKind.NATURAL,
+        ),
+        QuantKind.NATURAL,
+    )
+
+    # (3) Adjacent blocks extend by one pair:
+    # forall p,q,u,v,u2,v2: x = p$u%v$u2%v2$q (with u,v,u2,v2 marker-free)
+    #   -> some pair i with u2 = u.w_i and v2 = v.v_i.
+    shape = eq(
+        x,
+        concat(
+            Var("_p"), BLOCK, Var("_u"), SEP, Var("_v"),
+            BLOCK, Var("_u2"), SEP, Var("_v2"), StrConst(BLOCK), Var("_q"),
+        ),
+    )
+    blockish = and_(
+        shape,
+        _marker_free("_u"),
+        _marker_free("_v"),
+        _marker_free("_u2"),
+        _marker_free("_v2"),
+    )
+    extends = or_(
+        *[
+            and_(
+                eq(Var("_u2"), ConcatTerm(Var("_u"), StrConst(w))),
+                eq(Var("_v2"), ConcatTerm(Var("_v"), StrConst(v))),
+            )
+            for (w, v) in instance.pairs
+        ]
+    )
+    adjacency: Formula = blockish.implies(extends)
+    for name in ["_q", "_v2", "_u2", "_v", "_u", "_p"]:
+        adjacency = Forall(name, adjacency, QuantKind.NATURAL)
+
+    return and_(first, last, _well_formed(var), adjacency)
+
+
+def safety_reduction(instance: PcpInstance, out_var: str = "y") -> Formula:
+    """Corollary 1's reduction target: ``psi(y) = exists x: witness(x)``.
+
+    ``psi`` returns all of ``Sigma*`` (unsafe) iff the instance is
+    solvable, and the empty set (safe) otherwise.  A state-safety decider
+    for RC_concat would therefore decide PCP.
+    """
+    inner = witness_formula(instance, "x")
+    return and_(eq(Var(out_var), Var(out_var)), Exists("x", inner, QuantKind.NATURAL))

@@ -1,0 +1,385 @@
+"""RC_concat: relational calculus with string concatenation (Section 3).
+
+The term language gains binary concatenation; with it (over any alphabet
+of at least two symbols) RC_concat expresses *all computable queries*
+(Proposition 1), has no effective syntax for its safe fragment and an
+undecidable state-safety problem (Corollary 1).
+
+Consequently there is no exact terminating engine here — concatenation's
+graph is not a synchronized-rational relation, so the automata engine
+cannot exist for it.  What the library offers instead:
+
+* :class:`ConcatTerm` — the term constructor;
+* :class:`BoundedConcatEngine` — bounded-universe model checking with two
+  domain modes: ``length`` (all strings up to a bound: a semi-decision
+  procedure when iterated) and ``factors`` (all factors of the current
+  assignment values plus formula constants: complete for the
+  factor-quantified formulas produced by the Proposition 1 / Corollary 1
+  reductions in :mod:`repro.concat.turing` and :mod:`repro.concat.pcp`);
+* :func:`decide_state_safety` — always raises
+  :class:`~repro.errors.UndecidableError`, with the PCP reduction as the
+  witness for *why*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.database.instance import Database
+from repro.errors import EvaluationError, UndecidableError
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    QuantKind,
+    RelAtom,
+    TrueF,
+)
+from repro.logic.terms import StrConst, Term
+from repro.strings.alphabet import Alphabet
+from repro.strings import ops as strops
+
+
+@dataclass(frozen=True)
+class ConcatTerm(Term):
+    """``t1 . t2`` — the operation that breaks everything (Section 3)."""
+
+    left: Term
+    right: Term
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def substitute(self, mapping: dict[str, Term]) -> Term:
+        return ConcatTerm(self.left.substitute(mapping), self.right.substitute(mapping))
+
+    def evaluate(self, assignment: dict[str, str]) -> str:
+        return self.left.evaluate(assignment) + self.right.evaluate(assignment)
+
+    def __str__(self) -> str:
+        return f"concat({self.left}, {self.right})"
+
+
+def concat(*terms) -> Term:
+    """Right-nested concatenation of terms / literal strings."""
+    from repro.logic.terms import as_term
+
+    nodes = [t if isinstance(t, Term) else StrConst(t) for t in terms]
+    if not nodes:
+        return StrConst("")
+    out = nodes[-1]
+    for node in reversed(nodes[:-1]):
+        out = ConcatTerm(node, out)
+    return out
+
+
+def _formula_constants(formula: Formula) -> frozenset[str]:
+    consts = {""}
+    for sub in formula.walk():
+        if isinstance(sub, (Atom, RelAtom)):
+            for t in sub.args:
+                consts |= _term_constants(t)
+    return frozenset(consts)
+
+
+def _term_constants(term: Term) -> set[str]:
+    if isinstance(term, StrConst):
+        return {term.value}
+    if isinstance(term, ConcatTerm):
+        return _term_constants(term.left) | _term_constants(term.right)
+    out: set[str] = set()
+    inner = getattr(term, "inner", None)
+    if inner is not None:
+        out |= _term_constants(inner)
+    return out
+
+
+def _factors(value: str, max_factor_len: Optional[int] = None) -> Iterator[str]:
+    n = len(value)
+    seen: set[str] = set()
+    for i in range(n + 1):
+        top = n if max_factor_len is None else min(n, i + max_factor_len)
+        for j in range(i, top + 1):
+            f = value[i:j]
+            if f not in seen:
+                seen.add(f)
+                yield f
+
+
+class BoundedConcatEngine:
+    """Model checking for RC_concat formulas over bounded domains.
+
+    ``mode="length"``: NATURAL quantifiers range over all strings of
+    length at most ``bound`` — exponential, but a true semi-decision
+    procedure for existential sentences when ``bound`` grows.
+
+    ``mode="factors"``: NATURAL quantifiers range over factors of the
+    values currently assigned to free/bound variables plus the formula's
+    constants.  Complete for formulas whose quantifiers only ever need
+    factor witnesses — which the Proposition 1 and Corollary 1 reduction
+    formulas are designed to guarantee.
+    """
+
+    def __init__(
+        self,
+        alphabet: Alphabet,
+        database: Optional[Database] = None,
+        mode: str = "factors",
+        bound: int = 4,
+    ):
+        if mode not in ("length", "factors"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.alphabet = alphabet
+        self.database = database
+        self.mode = mode
+        self.bound = bound
+
+    def holds(self, formula: Formula, assignment: Optional[dict[str, str]] = None) -> bool:
+        assignment = dict(assignment or {})
+        missing = formula.free_variables() - set(assignment)
+        if missing:
+            raise EvaluationError(f"unbound free variables {sorted(missing)}")
+        self._constants = sorted(_formula_constants(formula), key=len)
+        return self._eval(formula, assignment)
+
+    def _eval(self, f: Formula, assignment: dict[str, str]) -> bool:
+        if isinstance(f, TrueF):
+            return True
+        if isinstance(f, FalseF):
+            return False
+        if isinstance(f, Atom):
+            values = [t.evaluate(assignment) for t in f.args]
+            return self._eval_pred(f.pred, values, f.param)
+        if isinstance(f, RelAtom):
+            if self.database is None:
+                raise EvaluationError("no database attached")
+            values = tuple(t.evaluate(assignment) for t in f.args)
+            return values in self.database.relation(f.name)
+        if isinstance(f, Not):
+            return not self._eval(f.inner, assignment)
+        if isinstance(f, And):
+            return all(self._eval(p, assignment) for p in f.parts)
+        if isinstance(f, Or):
+            return any(self._eval(p, assignment) for p in f.parts)
+        if isinstance(f, Exists):
+            return self._eval_exists(f, assignment)
+        if isinstance(f, Forall):
+            # forall v: phi == not exists v: not phi, pushed to NNF so the
+            # pattern fast path can see through the negation.
+            from repro.logic.transform import to_nnf
+
+            rewritten = Exists(f.var, to_nnf(Not(f.body)), f.kind)
+            return not self._eval(rewritten, assignment)
+        raise EvaluationError(f"cannot evaluate {f!r}")
+
+    def _eval_exists(self, f: Exists, assignment: dict[str, str]) -> bool:
+        # Collect a maximal chain of existentials.
+        pending: list[str] = []
+        body: Formula = f
+        while isinstance(body, Exists):
+            pending.append(body.var)
+            body = body.body
+        # Fast path: the body is a conjunction containing an equality
+        # "ground = pattern over the pending variables"; enumerate the
+        # pattern's segmentations instead of blind domain search.  This is
+        # what makes the Proposition 1 / Corollary 1 formulas checkable.
+        conjuncts = _flat_conjuncts(body)
+        for pivot_index, conjunct in enumerate(conjuncts):
+            plan = _match_plan(conjunct, pending, assignment)
+            if plan is None:
+                continue
+            value, segments = plan
+            rest = conjuncts[:pivot_index] + conjuncts[pivot_index + 1:]
+            sentinel = object()
+            saved = {v: assignment.get(v, sentinel) for v in pending}
+
+            def restore():
+                for v, old in saved.items():
+                    if old is sentinel:
+                        assignment.pop(v, None)
+                    else:
+                        assignment[v] = old
+
+            try:
+                for binding in _enumerate_matches(value, segments):
+                    assignment.update(binding)
+                    missing = [v for v in pending if v not in binding]
+                    if missing:
+                        if self._eval_nested(missing, rest, assignment):
+                            return True
+                    elif all(self._eval(r, assignment) for r in rest):
+                        return True
+                    for v in binding:
+                        assignment.pop(v, None)
+                return False
+            finally:
+                restore()
+        # Fallback: enumerate the domain variable by variable.
+        return self._eval_nested(pending, conjuncts, assignment)
+
+    def _eval_nested(
+        self, pending: list[str], conjuncts: list[Formula], assignment: dict[str, str]
+    ) -> bool:
+        if not pending:
+            return all(self._eval(c, assignment) for c in conjuncts)
+        var, rest_vars = pending[0], pending[1:]
+        sentinel = object()
+        saved = assignment.get(var, sentinel)
+        try:
+            for value in list(self._domain(assignment)):
+                assignment[var] = value
+                if self._eval_nested(rest_vars, conjuncts, assignment):
+                    return True
+            return False
+        finally:
+            if saved is sentinel:
+                assignment.pop(var, None)
+            else:
+                assignment[var] = saved
+
+    def _eval_pred(self, pred: str, values: list[str], param) -> bool:
+        if pred == "eq":
+            return values[0] == values[1]
+        if pred == "prefix":
+            return values[1].startswith(values[0])
+        if pred == "sprefix":
+            return values[1].startswith(values[0]) and values[0] != values[1]
+        if pred == "last":
+            return strops.last_symbol_is(values[0], param or "")
+        if pred == "el":
+            return len(values[0]) == len(values[1])
+        raise EvaluationError(f"predicate {pred!r} not supported in RC_concat engine")
+
+    def _domain(self, assignment: dict[str, str]) -> Iterator[str]:
+        if self.mode == "length":
+            yield from self.alphabet.strings_up_to(self.bound)
+            return
+        seen: set[str] = set()
+        for c in self._constants:
+            if c not in seen:
+                seen.add(c)
+                yield c
+        if self.database is not None:
+            for s in sorted(self.database.adom):
+                for f in _factors(s):
+                    if f not in seen:
+                        seen.add(f)
+                        yield f
+        for value in sorted(set(assignment.values()), key=len, reverse=True):
+            for f in _factors(value):
+                if f not in seen:
+                    seen.add(f)
+                    yield f
+
+
+def _flat_conjuncts(f: Formula) -> list[Formula]:
+    if isinstance(f, And):
+        out: list[Formula] = []
+        for p in f.parts:
+            out.extend(_flat_conjuncts(p))
+        return out
+    return [f]
+
+
+def _flatten_concat(term: Term) -> list[Term]:
+    if isinstance(term, ConcatTerm):
+        return _flatten_concat(term.left) + _flatten_concat(term.right)
+    return [term]
+
+
+def _match_plan(
+    conjunct: Formula, pending: list[str], assignment: dict[str, str]
+) -> Optional[tuple[str, list]]:
+    """If ``conjunct`` is ``eq(ground, pattern over pending vars)``, return
+    (ground value, segments); segments are strings or pending var names."""
+    if not isinstance(conjunct, Atom) or conjunct.pred != "eq":
+        return None
+    for ground_side, pattern_side in (
+        (conjunct.args[0], conjunct.args[1]),
+        (conjunct.args[1], conjunct.args[0]),
+    ):
+        if not ground_side.variables() <= set(assignment):
+            continue
+        leaves = _flatten_concat(pattern_side)
+        segments: list = []
+        used: set[str] = set()
+        ok = True
+        for leaf in leaves:
+            if isinstance(leaf, StrConst):
+                segments.append(leaf.value)
+            elif hasattr(leaf, "name") and leaf.name in assignment:  # ground Var
+                segments.append(assignment[leaf.name])
+            elif hasattr(leaf, "name") and leaf.name in pending:
+                if leaf.name in used:
+                    segments.append(("rep", leaf.name))
+                else:
+                    used.add(leaf.name)
+                    segments.append(("var", leaf.name))
+            else:
+                ok = False
+                break
+        if ok and used:
+            value = ground_side.evaluate(assignment)
+            # Merge adjacent constant segments for faster matching.
+            merged: list = []
+            for seg in segments:
+                if (
+                    merged
+                    and isinstance(seg, str)
+                    and isinstance(merged[-1], str)
+                ):
+                    merged[-1] += seg
+                else:
+                    merged.append(seg)
+            return value, merged
+    return None
+
+
+def _enumerate_matches(value: str, segments: list) -> Iterator[dict[str, str]]:
+    """All ways to split ``value`` along the pattern ``segments``."""
+
+    def rec(pos: int, idx: int, binding: dict[str, str]) -> Iterator[dict[str, str]]:
+        if idx == len(segments):
+            if pos == len(value):
+                yield dict(binding)
+            return
+        seg = segments[idx]
+        if isinstance(seg, str):
+            if value.startswith(seg, pos):
+                yield from rec(pos + len(seg), idx + 1, binding)
+            return
+        tag, name = seg
+        if tag == "rep":
+            # Repeated variable: must equal its earlier binding.
+            bound = binding[name]
+            if value.startswith(bound, pos):
+                yield from rec(pos + len(bound), idx + 1, binding)
+            return
+        had = name in binding
+        for end in range(pos, len(value) + 1):
+            binding[name] = value[pos:end]
+            yield from rec(end, idx + 1, binding)
+        if not had:
+            binding.pop(name, None)
+
+    yield from rec(0, 0, {})
+
+
+def decide_state_safety(formula: Formula, database: Database) -> bool:
+    """State-safety for RC_concat — undecidable (Corollary 1).
+
+    Always raises :class:`UndecidableError`.  The reduction witnessing the
+    undecidability — PCP instance ``I`` maps to a query that is safe iff
+    ``I`` has no solution — is :func:`repro.concat.pcp.safety_reduction`.
+    """
+    raise UndecidableError(
+        "state-safety is undecidable for RC_concat (Corollary 1); "
+        "see repro.concat.pcp.safety_reduction for the PCP reduction, "
+        "or use BoundedConcatEngine for bounded semi-decision"
+    )

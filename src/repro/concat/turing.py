@@ -1,0 +1,262 @@
+"""Proposition 1: RC_concat expresses all computable queries.
+
+The proof encodes Turing-machine computations as strings and checks them
+in first-order logic over concatenation.  This module implements that
+encoding for single-tape deterministic machines:
+
+* a configuration is ``l q r``: tape-left, state symbol, tape-from-head;
+* a computation history is ``$c_0$c_1$...$c_k$``;
+* :func:`acceptance_formula` builds the RC_concat sentence "there exists
+  an accepting history for input w": the first configuration is
+  ``q_0 w``, consecutive configurations are related by the one-step
+  relation (a finite disjunction of local concatenation patterns — this is
+  where concatenation's power does all the work), and the last
+  configuration contains the accepting state.
+
+State and tape symbols must be single characters, pairwise distinct, and
+distinct from the ``$`` history marker.  The formula is checkable with the
+pattern-matching fast path of
+:class:`~repro.concat.structure.BoundedConcatEngine`: every quantifier
+ranges over factors of the history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.concat.structure import concat
+from repro.logic.dsl import and_, eq, not_, or_
+from repro.logic.formulas import Exists, Forall, Formula, QuantKind
+from repro.logic.terms import Var
+
+MARK = "$"
+
+
+@dataclass(frozen=True)
+class TuringMachine:
+    """A deterministic one-tape TM with single-character symbols.
+
+    ``transitions`` maps ``(state, symbol) -> (state', symbol', move)``
+    with ``move`` in ``{"L", "R"}``; ``blank`` is the blank tape symbol.
+    """
+
+    states: tuple[str, ...]
+    tape_symbols: tuple[str, ...]
+    start: str
+    accept: str
+    blank: str
+    transitions: dict[tuple[str, str], tuple[str, str, str]]
+
+    def __post_init__(self):
+        chars = set(self.states) | set(self.tape_symbols)
+        if any(len(c) != 1 for c in chars):
+            raise ValueError("states and tape symbols must be single characters")
+        if len(chars) != len(self.states) + len(self.tape_symbols):
+            raise ValueError("states and tape symbols must be pairwise distinct")
+        if MARK in chars:
+            raise ValueError(f"{MARK!r} is reserved for the history encoding")
+        if self.blank not in self.tape_symbols:
+            raise ValueError("blank must be a tape symbol")
+
+    # -------------------------------------------------------------- running
+
+    def run(self, tape: str, max_steps: int = 10_000) -> Optional[list[str]]:
+        """Run the machine; return the configuration history if it accepts.
+
+        Configurations are normalized: no leading blanks on the left part,
+        the right part always contains the head symbol (extended with a
+        blank when the head walks off the right end).
+        """
+        left, state, right = "", self.start, tape or self.blank
+        history = [self._config(left, state, right)]
+        for _ in range(max_steps):
+            if state == self.accept:
+                return history
+            symbol = right[0] if right else self.blank
+            key = (state, symbol)
+            if key not in self.transitions:
+                return None  # halt without accepting
+            state2, write, move = self.transitions[key]
+            rest = right[1:] if len(right) > 1 else ""
+            if move == "R":
+                left = left + write
+                right = rest or self.blank
+            else:  # L
+                if left:
+                    right = left[-1] + write + rest
+                    left = left[:-1]
+                else:
+                    right = self.blank + write + rest
+            state = state2
+            history.append(self._config(left, state, right))
+        return None
+
+    def _config(self, left: str, state: str, right: str) -> str:
+        return f"{left}{state}{right}"
+
+    def accepts(self, tape: str, max_steps: int = 10_000) -> bool:
+        return self.run(tape, max_steps) is not None
+
+
+def encode_history(history: list[str]) -> str:
+    """``$c_0$c_1$...$c_k$``."""
+    return MARK + MARK.join(history) + MARK
+
+
+def step_formula(tm: TuringMachine, c: str, c2: str) -> Formula:
+    """``c2`` follows from ``c`` in one step: a finite disjunction of
+    concatenation patterns, one per transition (and per left-neighbour
+    symbol for left moves)."""
+    cases: list[Formula] = []
+    cv, c2v = Var(c), Var(c2)
+    for (state, symbol), (state2, write, move) in tm.transitions.items():
+        l, r = f"_l{c}", f"_r{c}"
+        lv, rv = Var(l), Var(r)
+        if move == "R":
+            # l q a r -> l b q' r    (r may be empty; the normalized
+            # history materializes a blank when the head leaves the right
+            # end, giving the second pattern).
+            pat = and_(
+                eq(cv, concat(lv, state + symbol, rv)),
+                or_(
+                    and_(
+                        not_(eq(rv, _eps())),
+                        eq(c2v, concat(lv, write + state2, rv)),
+                    ),
+                    and_(
+                        eq(rv, _eps()),
+                        eq(c2v, concat(lv, write + state2 + tm.blank)),
+                    ),
+                ),
+            )
+            cases.append(
+                Exists(l, Exists(r, pat, QuantKind.NATURAL), QuantKind.NATURAL)
+            )
+        else:
+            # With a left neighbour e:  l e q a r -> l q' e b r.
+            for e in tm.tape_symbols:
+                pat = and_(
+                    eq(cv, concat(lv, e + state + symbol, rv)),
+                    eq(c2v, concat(lv, state2 + e + write, rv)),
+                )
+                cases.append(
+                    Exists(l, Exists(r, pat, QuantKind.NATURAL), QuantKind.NATURAL)
+                )
+            # At the left end: q a r -> q' blank b r.
+            pat = and_(
+                eq(cv, concat(state + symbol, rv)),
+                eq(c2v, concat(state2 + tm.blank + write, rv)),
+            )
+            cases.append(Exists(r, pat, QuantKind.NATURAL))
+    if not cases:
+        from repro.logic.dsl import false
+
+        return false
+    return or_(*cases)
+
+
+def _eps():
+    from repro.logic.terms import EPS
+
+    return EPS
+
+
+def _marker_free(var: str) -> Formula:
+    a, b = f"_m{var}a", f"_m{var}b"
+    return not_(
+        Exists(
+            a,
+            Exists(
+                b,
+                eq(Var(var), concat(Var(a), MARK, Var(b))),
+                QuantKind.NATURAL,
+            ),
+            QuantKind.NATURAL,
+        )
+    )
+
+
+def acceptance_formula(tm: TuringMachine, tape: str, var: str = "h") -> Formula:
+    """RC_concat formula: ``var`` is an accepting history of ``tm`` on ``tape``.
+
+    The sentence ``exists h: acceptance_formula(tm, w, 'h')`` is true iff
+    the machine accepts ``w`` — Proposition 1's engine for expressing any
+    computable property inside RC_concat.
+    """
+    h = Var(var)
+    start_config = tm.start + (tape or tm.blank)
+    # (1) The history starts with $ q0 w $.
+    first = Exists(
+        "_hq",
+        eq(h, concat(MARK + start_config + MARK, Var("_hq"))),
+        QuantKind.NATURAL,
+    )
+    # (2) The *last* configuration contains the accepting state:
+    # h = p $ u A v $ with u, v marker-free and the $ final.
+    accept = Exists(
+        "_hp",
+        Exists(
+            "_hu",
+            Exists(
+                "_hv",
+                and_(
+                    eq(
+                        h,
+                        concat(
+                            Var("_hp"), MARK, Var("_hu"), tm.accept, Var("_hv"), MARK
+                        ),
+                    ),
+                    _marker_free("_hu"),
+                    _marker_free("_hv"),
+                ),
+                QuantKind.NATURAL,
+            ),
+            QuantKind.NATURAL,
+        ),
+        QuantKind.NATURAL,
+    )
+    # (3) Adjacent configurations step correctly:
+    # forall p, c, c2, q: h = p $ c $ c2 $ q (c, c2 marker-free)
+    #   -> step(c, c2).
+    shape = eq(
+        h,
+        concat(Var("_p"), MARK, Var("_c"), MARK, Var("_c2"), MARK, Var("_q")),
+    )
+    blockish = and_(shape, _marker_free("_c"), _marker_free("_c2"))
+    adjacency: Formula = blockish.implies(step_formula(tm, "_c", "_c2"))
+    for name in ["_q", "_c2", "_c", "_p"]:
+        adjacency = Forall(name, adjacency, QuantKind.NATURAL)
+    return and_(first, accept, adjacency)
+
+
+def accepts_via_formula(
+    tm: TuringMachine, tape: str, history: str, alphabet
+) -> bool:
+    """Check a candidate history against the logical acceptance criterion."""
+    from repro.concat.structure import BoundedConcatEngine
+
+    engine = BoundedConcatEngine(alphabet, mode="factors")
+    return engine.holds(acceptance_formula(tm, tape), {"h": history})
+
+
+def parity_machine() -> TuringMachine:
+    """A tiny example machine: accepts binary strings with an even number
+    of ``1`` symbols (a query famously *outside* RC(S), Corollary 2 — but
+    trivially inside RC_concat by Proposition 1)."""
+    # States: e (even, start), o (odd), A (accept). Tape: 0, 1, blank B.
+    transitions = {
+        ("e", "0"): ("e", "0", "R"),
+        ("e", "1"): ("o", "1", "R"),
+        ("o", "0"): ("o", "0", "R"),
+        ("o", "1"): ("e", "1", "R"),
+        ("e", "B"): ("A", "B", "R"),
+    }
+    return TuringMachine(
+        states=("e", "o", "A"),
+        tape_symbols=("0", "1", "B"),
+        start="e",
+        accept="A",
+        blank="B",
+        transitions=transitions,
+    )

@@ -1,0 +1,19 @@
+"""Public API facade."""
+
+from repro.core.query import (
+    Query,
+    StringDatabase,
+    Table,
+    definable_language,
+    language_is_star_free,
+    parse_query,
+)
+
+__all__ = [
+    "Query",
+    "StringDatabase",
+    "Table",
+    "definable_language",
+    "language_is_star_free",
+    "parse_query",
+]

@@ -1,0 +1,246 @@
+"""The high-level public API: :class:`Query` and helpers.
+
+A :class:`Query` bundles a formula with the structure (language) it is
+written in, and exposes the library's capabilities as methods::
+
+    from repro import Query, StringDatabase
+
+    db = StringDatabase("01", {"R": {"0110", "001"}})
+    q = Query("R(x) & last(x, '0')", structure="S")
+    q.run(db).rows()            # evaluate (exact, automata engine)
+    q.is_safe_on(db)            # Proposition 7
+    q.range_restricted()        # Theorem 3 / 7
+    q.to_algebra(db.schema)     # Theorem 4 / 8
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.algebra.compile import CompiledQuery, compile_query
+from repro.automata.aperiodic import is_star_free
+from repro.automata.dfa import DFA
+from repro.database.instance import Database
+from repro.database.schema import Schema
+from repro.errors import EvaluationError
+from repro.eval.automata_engine import AutomataEngine
+from repro.eval.collapse import collapse, default_slack
+from repro.eval.direct import DirectEngine
+from repro.eval.result import QueryResult
+from repro.logic.formulas import Formula
+from repro.logic.parser import parse_formula
+from repro.safety.range_restriction import RangeRestrictedQuery, range_restrict
+from repro.safety.state_safety import SafetyReport, analyze_state_safety
+from repro.strings.alphabet import Alphabet, BINARY
+from repro.structures.base import StringStructure
+from repro.structures.catalog import by_name
+
+
+class StringDatabase:
+    """A database of string relations (thin, friendly wrapper).
+
+    Parameters
+    ----------
+    alphabet:
+        An :class:`Alphabet` or a string of its symbols (``"01"``).
+    relations:
+        Mapping from relation names to collections of tuples (or bare
+        strings for unary relations).
+    """
+
+    def __init__(
+        self,
+        alphabet: Union[Alphabet, str],
+        relations: Mapping[str, Iterable],
+        schema: Optional[Schema] = None,
+    ):
+        if isinstance(alphabet, str):
+            alphabet = Alphabet(alphabet)
+        self.db = Database(alphabet, relations, schema=schema)
+
+    @property
+    def alphabet(self) -> Alphabet:
+        return self.db.alphabet
+
+    @property
+    def schema(self) -> Schema:
+        return self.db.schema
+
+    @property
+    def adom(self) -> frozenset[str]:
+        return self.db.adom
+
+    def width(self) -> int:
+        return self.db.width()
+
+    def __repr__(self) -> str:
+        return f"StringDatabase({self.db!r})"
+
+
+@dataclass(frozen=True)
+class Table:
+    """A finite query answer with named columns."""
+
+    columns: tuple[str, ...]
+    rows_set: frozenset[tuple[str, ...]]
+
+    def rows(self) -> list[tuple[str, ...]]:
+        return sorted(self.rows_set)
+
+    def __len__(self) -> int:
+        return len(self.rows_set)
+
+    def __contains__(self, row) -> bool:
+        return tuple(row) in self.rows_set
+
+    def __iter__(self):
+        return iter(self.rows())
+
+
+class Query:
+    """A query in one of the paper's calculi.
+
+    Parameters
+    ----------
+    source:
+        Query text (see :mod:`repro.logic.parser` for the syntax) or an
+        already-built :class:`~repro.logic.formulas.Formula`.
+    structure:
+        ``"S"``, ``"S_left"``, ``"S_reg"`` or ``"S_len"`` — or a
+        :class:`StringStructure` instance.  The signature is enforced.
+    alphabet:
+        Alphabet (defaults to binary); ignored when ``structure`` is an
+        instance.
+    """
+
+    def __init__(
+        self,
+        source: Union[str, Formula],
+        structure: Union[str, StringStructure] = "S",
+        alphabet: Union[Alphabet, str] = BINARY,
+    ):
+        if isinstance(alphabet, str):
+            alphabet = Alphabet(alphabet)
+        if isinstance(structure, str):
+            structure = by_name(structure, alphabet)
+        self.structure = structure
+        self.formula = parse_formula(source) if isinstance(source, str) else source
+        self.structure.check_formula(self.formula)
+
+    @property
+    def free_variables(self) -> tuple[str, ...]:
+        return tuple(sorted(self.formula.free_variables()))
+
+    def __repr__(self) -> str:
+        return f"Query({str(self.formula)!r}, structure={self.structure.name})"
+
+    # ------------------------------------------------------------- running
+
+    def run(
+        self,
+        database: Union[StringDatabase, Database],
+        engine: str = "automata",
+        slack: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> Table:
+        """Evaluate and materialize the answer.
+
+        ``engine="automata"`` is the exact reference engine (handles
+        natural quantifiers, detects infinite outputs);
+        ``engine="direct"`` evaluates collapsed queries by enumeration
+        (polynomial data complexity for the PREFIX-collapsing calculi).
+        Raises :class:`~repro.errors.UnsafeQueryError` on infinite output
+        unless a ``limit`` is given.
+        """
+        result = self.result(database, engine=engine, slack=slack)
+        if limit is not None and not result.is_finite():
+            rows = frozenset(result.tuples(limit=limit))
+        else:
+            rows = result.as_set()
+        return Table(result.variables, rows)
+
+    def result(
+        self,
+        database: Union[StringDatabase, Database],
+        engine: str = "automata",
+        slack: Optional[int] = None,
+    ) -> QueryResult:
+        """Evaluate, returning the (possibly infinite) :class:`QueryResult`.
+
+        ``slack`` is the restricted-quantifier headroom.  The automata
+        engine only uses it for explicitly PREFIX/LENGTH-restricted
+        quantifiers (default 0).  The direct engine collapses natural
+        quantifiers first and defaults to slack 1 — the enumeration cost
+        grows as ``|Sigma|^slack``, so raise it deliberately (the
+        theoretically safe bound is ``2^quantifier_rank``; see
+        :func:`repro.eval.collapse.default_slack`).
+        """
+        db = database.db if isinstance(database, StringDatabase) else database
+        if engine == "automata":
+            return AutomataEngine(self.structure, db, slack=slack or 0).run(self.formula)
+        if engine == "direct":
+            effective = 1 if slack is None else slack
+            q = collapse(self.formula, self.structure, slack=effective)
+            return DirectEngine(self.structure, db, slack=q.slack).run(q.formula)
+        raise EvaluationError(f"unknown engine {engine!r}")
+
+    def decide(self, database: Union[StringDatabase, Database]) -> bool:
+        """Truth value of a Boolean query (sentence)."""
+        db = database.db if isinstance(database, StringDatabase) else database
+        return AutomataEngine(self.structure, db).decide(self.formula)
+
+    # -------------------------------------------------------------- safety
+
+    def is_safe_on(self, database: Union[StringDatabase, Database]) -> bool:
+        """State-safety (Proposition 7)."""
+        return self.safety_report(database).safe
+
+    def safety_report(self, database: Union[StringDatabase, Database]) -> SafetyReport:
+        db = database.db if isinstance(database, StringDatabase) else database
+        return analyze_state_safety(self.formula, self.structure, db)
+
+    def range_restricted(self, slack: Optional[int] = None) -> RangeRestrictedQuery:
+        """The Theorem 3/7 range-restricted version ``(gamma, phi)``."""
+        return range_restrict(self.formula, self.structure, slack=slack)
+
+    # ------------------------------------------------------------- algebra
+
+    def to_algebra(self, schema: Schema, slack: int = 1) -> CompiledQuery:
+        """Compile to the matching relational algebra (Theorem 4/8)."""
+        return compile_query(self.formula, self.structure, schema, slack=slack)
+
+
+def parse_query(
+    text: str,
+    structure: Union[str, StringStructure] = "S",
+    alphabet: Union[Alphabet, str] = BINARY,
+) -> Query:
+    """Parse query text into a :class:`Query` (convenience alias)."""
+    return Query(text, structure=structure, alphabet=alphabet)
+
+
+def definable_language(
+    query: Query, max_probe: int = 0
+) -> DFA:
+    """The subset of ``Sigma*`` a database-free unary query defines.
+
+    Sections 4 and 7 of the paper: over S and S_left these are exactly the
+    star-free languages, over S_reg and S_len exactly the regular ones —
+    check with :func:`repro.automata.is_star_free` on the returned DFA.
+    """
+    if query.formula.relation_names():
+        raise EvaluationError("definable_language needs a database-free query")
+    free = query.free_variables
+    if len(free) != 1:
+        raise EvaluationError("definable_language needs exactly one free variable")
+    empty_db = Database(query.structure.alphabet, {})
+    result = AutomataEngine(query.structure, empty_db).run(query.formula)
+    # Convert the unary convolution automaton to a plain character DFA.
+    return result.relation.dfa.map_symbols(lambda col: col[0]).minimize()
+
+
+def language_is_star_free(query: Query) -> bool:
+    """Is the language defined by a unary database-free query star-free?"""
+    return is_star_free(definable_language(query))

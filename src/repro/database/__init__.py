@@ -1,0 +1,25 @@
+"""Database layer: schemas, instances, active domain, width, generators."""
+
+from repro.database.generators import (
+    antichain_vertex,
+    complete_graph,
+    cycle_graph,
+    graph_database,
+    random_database,
+    random_graph,
+    unary_database,
+)
+from repro.database.instance import Database
+from repro.database.schema import Schema
+
+__all__ = [
+    "Database",
+    "Schema",
+    "antichain_vertex",
+    "complete_graph",
+    "cycle_graph",
+    "graph_database",
+    "random_database",
+    "random_graph",
+    "unary_database",
+]

@@ -1,0 +1,110 @@
+"""Deterministic workload generators for tests, examples and benchmarks.
+
+All generators take an explicit ``seed`` so benchmark runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.database.instance import Database
+from repro.strings.alphabet import Alphabet
+
+
+def random_string(rng: random.Random, alphabet: Alphabet, max_len: int) -> str:
+    length = rng.randint(0, max_len)
+    return "".join(rng.choice(alphabet.symbols) for _ in range(length))
+
+
+def random_database(
+    alphabet: Alphabet,
+    schema_arities: dict[str, int],
+    tuples_per_relation: int,
+    max_len: int = 8,
+    seed: int = 0,
+) -> Database:
+    """A random database with the given shape."""
+    rng = random.Random(seed)
+    rels = {}
+    for name, arity in schema_arities.items():
+        tuples = set()
+        while len(tuples) < tuples_per_relation:
+            tuples.add(tuple(random_string(rng, alphabet, max_len) for _ in range(arity)))
+        rels[name] = tuples
+    return Database(alphabet, rels)
+
+
+def unary_database(
+    alphabet: Alphabet,
+    n_strings: int,
+    max_len: int = 10,
+    seed: int = 0,
+    name: str = "R",
+) -> Database:
+    """A unary database (Proposition 3's linear-time evaluation setting)."""
+    rng = random.Random(seed)
+    strings = set()
+    while len(strings) < n_strings:
+        strings.add(random_string(rng, alphabet, max_len))
+    return Database(alphabet, {name: {(s,) for s in strings}})
+
+
+def antichain_vertex(i: int, alphabet: Alphabet) -> str:
+    """The ``i``-th vertex string ``1^i 0``: a prefix-antichain of distinct lengths.
+
+    Used by the Proposition 5 pipeline: distinct lengths let a subset of
+    vertices be coded by a single string's symbols via the ``el`` predicate.
+    """
+    one, zero = alphabet.symbols[1], alphabet.symbols[0]
+    return one * i + zero
+
+
+def graph_database(
+    n_vertices: int,
+    edges: Sequence[tuple[int, int]],
+    alphabet: Alphabet,
+) -> Database:
+    """Encode a graph as a width-1 string database (vertices ``1^i 0``).
+
+    Relations: unary ``V`` (vertices) and binary ``E`` (edges, symmetric
+    closure is the caller's choice).
+    """
+    if len(alphabet) < 2:
+        raise ValueError("graph encoding needs at least two alphabet symbols")
+    vstr = [antichain_vertex(i, alphabet) for i in range(n_vertices)]
+    v_rel = {(v,) for v in vstr}
+    e_rel = {(vstr[u], vstr[w]) for (u, w) in edges}
+    return Database(alphabet, {"V": v_rel, "E": e_rel})
+
+
+def random_graph(n_vertices: int, edge_prob: float, seed: int = 0) -> list[tuple[int, int]]:
+    """Random undirected graph as a symmetric edge list."""
+    rng = random.Random(seed)
+    edges = []
+    for u in range(n_vertices):
+        for w in range(u + 1, n_vertices):
+            if rng.random() < edge_prob:
+                edges.append((u, w))
+                edges.append((w, u))
+    return edges
+
+
+def cycle_graph(n_vertices: int) -> list[tuple[int, int]]:
+    """The n-cycle (3-colorable iff n is not an odd cycle > 3 ... i.e. even or n=3)."""
+    edges = []
+    for u in range(n_vertices):
+        w = (u + 1) % n_vertices
+        edges.append((u, w))
+        edges.append((w, u))
+    return edges
+
+
+def complete_graph(n_vertices: int) -> list[tuple[int, int]]:
+    """K_n (3-colorable iff n <= 3)."""
+    edges = []
+    for u in range(n_vertices):
+        for w in range(n_vertices):
+            if u != w:
+                edges.append((u, w))
+    return edges

@@ -1,0 +1,203 @@
+"""Database instances over ``Sigma*``: finite relations of strings.
+
+Implements the paper's Section 2 notions: active domain ``adom(D)``, the
+**width** of a database (the largest subset of the active domain pairwise
+comparable by prefix — Proposition 5's parameter), and the width-1
+re-encoding every database admits.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.automatic.relation import RelationAutomaton
+from repro.database.schema import Schema
+from repro.errors import ArityError
+from repro.strings import is_strict_prefix, prefix_closure
+from repro.strings.alphabet import Alphabet
+
+
+class Database:
+    """An instance of a :class:`Schema` over strings of a fixed alphabet.
+
+    Relations are immutable frozensets of string tuples.
+
+    Examples
+    --------
+    >>> from repro.strings import BINARY
+    >>> db = Database(BINARY, {"R": {("01",), ("0110",)}})
+    >>> sorted(db.adom)
+    ['01', '0110']
+    """
+
+    __slots__ = ("alphabet", "schema", "_relations", "_adom")
+
+    def __init__(
+        self,
+        alphabet: Alphabet,
+        relations: Mapping[str, Iterable[Sequence[str]]],
+        schema: Schema | None = None,
+    ):
+        self.alphabet = alphabet
+        rels: dict[str, frozenset[tuple[str, ...]]] = {}
+        arities: dict[str, int] = {}
+        for name, tuples in relations.items():
+            normalized = set()
+            for tup in tuples:
+                if isinstance(tup, str):
+                    tup = (tup,)
+                tup = tuple(tup)
+                for s in tup:
+                    alphabet.check_string(s)
+                normalized.add(tup)
+            if normalized:
+                lengths = {len(t) for t in normalized}
+                if len(lengths) != 1:
+                    raise ArityError(f"relation {name!r} has mixed arities {lengths}")
+                arities[name] = lengths.pop()
+            rels[name] = frozenset(normalized)
+        if schema is None:
+            # Infer arity 1 for empty relations.
+            for name in rels:
+                arities.setdefault(name, 1)
+            schema = Schema(arities)
+        else:
+            for name, tuples in rels.items():
+                if name not in schema:
+                    raise KeyError(f"relation {name!r} not in schema {schema}")
+                if tuples and arities[name] != schema.arity(name):
+                    raise ArityError(
+                        f"relation {name!r} has arity {arities[name]}, "
+                        f"schema says {schema.arity(name)}"
+                    )
+            for name in schema.relation_names:
+                rels.setdefault(name, frozenset())
+        self.schema = schema
+        self._relations = rels
+        adom: set[str] = set()
+        for tuples in rels.values():
+            for tup in tuples:
+                adom.update(tup)
+        self._adom = frozenset(adom)
+
+    # ------------------------------------------------------------- accessors
+
+    def relation(self, name: str) -> frozenset[tuple[str, ...]]:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(f"relation {name!r} not in database") from None
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return self.schema.relation_names
+
+    @property
+    def adom(self) -> frozenset[str]:
+        """The active domain: every string appearing in some tuple."""
+        return self._adom
+
+    def adom_prefix_closure(self) -> frozenset[str]:
+        """``prefix(adom(D))`` — the domain of prefix-restricted quantifiers."""
+        return prefix_closure(self._adom)
+
+    @property
+    def max_string_length(self) -> int:
+        """Length of the longest active-domain string (-1 if empty)."""
+        return max((len(s) for s in self._adom), default=-1)
+
+    @property
+    def size(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(t) for t in self._relations.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return (
+            self.alphabet == other.alphabet
+            and self.schema == other.schema
+            and self._relations == other._relations
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.alphabet, self.schema, tuple(sorted(self._relations.items())))
+        )
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{n}:{len(t)}" for n, t in sorted(self._relations.items()))
+        return f"Database({sizes}; |adom|={len(self._adom)})"
+
+    # ------------------------------------------------------------- modifiers
+
+    def with_relation(self, name: str, tuples: Iterable[Sequence[str]]) -> "Database":
+        """A new database with one relation replaced/added (schema re-inferred)."""
+        rels: dict[str, Iterable[Sequence[str]]] = dict(self._relations)
+        rels[name] = [tuple(t) for t in tuples]
+        return Database(self.alphabet, rels)
+
+    # ---------------------------------------------------------------- width
+
+    def width(self) -> int:
+        """The paper's width: the longest prefix-chain inside ``adom(D)``.
+
+        Computed by dynamic programming over strings ordered by length.
+        """
+        if not self._adom:
+            return 0
+        chain: dict[str, int] = {}
+        for s in sorted(self._adom, key=len):
+            best = 0
+            for p in chain:  # all strictly shorter processed strings
+                if is_strict_prefix(p, s) and chain[p] > best:
+                    best = chain[p]
+            chain[s] = best + 1
+        return max(chain.values())
+
+    def width_one_encoding(self) -> tuple["Database", dict[str, str]]:
+        """Re-encode onto a prefix-antichain (the paper's width-1 transform).
+
+        Every database is isomorphic w.r.t. the SC-predicates to a width-1
+        database (Section 5.2).  Strings are re-coded symbol-by-symbol in a
+        self-delimiting binary code over the first two alphabet symbols:
+        each symbol becomes its index in binary with every bit followed by
+        ``0``, and the code ends with ``11`` — no code word is a prefix of
+        another.
+
+        Returns the re-encoded database and the encoding map.
+        """
+        if len(self.alphabet) < 2:
+            raise ValueError("width-1 encoding needs at least two alphabet symbols")
+        zero, one = self.alphabet.symbols[0], self.alphabet.symbols[1]
+        bits_per_symbol = max(1, math.ceil(math.log2(len(self.alphabet))))
+
+        @functools.lru_cache(maxsize=None)
+        def encode(s: str) -> str:
+            out = []
+            for ch in s:
+                index = self.alphabet.index(ch)
+                for bit_pos in range(bits_per_symbol - 1, -1, -1):
+                    bit = (index >> bit_pos) & 1
+                    out.append(one if bit else zero)
+                    out.append(zero)
+            out.append(one)
+            out.append(one)
+            return "".join(out)
+
+        mapping = {s: encode(s) for s in self._adom}
+        rels = {
+            name: [tuple(mapping[s] for s in tup) for tup in tuples]
+            for name, tuples in self._relations.items()
+        }
+        return Database(self.alphabet, rels, schema=self.schema), mapping
+
+    # ------------------------------------------------------------- automata
+
+    def relation_automaton(self, name: str) -> RelationAutomaton:
+        """The finite relation as a convolution automaton (for the engine)."""
+        tuples = self.relation(name)
+        arity = self.schema.arity(name)
+        return RelationAutomaton.from_tuples(self.alphabet, arity, tuples)

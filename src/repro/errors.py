@@ -1,0 +1,73 @@
+"""Exception hierarchy for the ``repro`` (strqlib) library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch the whole family with a single ``except`` clause while still being able
+to distinguish parse errors from semantic ones.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class AlphabetError(ReproError):
+    """A string or symbol does not belong to the expected alphabet."""
+
+
+class ParseError(ReproError):
+    """A textual query, regex, or pattern could not be parsed.
+
+    Attributes
+    ----------
+    text:
+        The input being parsed.
+    position:
+        0-based offset at which the error was detected (``-1`` if unknown).
+    """
+
+    def __init__(self, message: str, text: str = "", position: int = -1):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.position >= 0:
+            return f"{base} (at offset {self.position} in {self.text!r})"
+        return base
+
+
+class SignatureError(ReproError):
+    """A formula uses a predicate or function outside the structure's signature.
+
+    Raised e.g. when an ``el`` (equal-length) atom appears in a query that is
+    declared to be an RC(S) query: the paper's languages are defined by their
+    signatures and the library enforces them.
+    """
+
+
+class EvaluationError(ReproError):
+    """A query could not be evaluated under the requested semantics."""
+
+
+class UnsafeQueryError(EvaluationError):
+    """A query's output on the given database is infinite.
+
+    The offending (regular) output can still be inspected: evaluation engines
+    attach the output automaton where available.
+    """
+
+
+class ArityError(ReproError):
+    """A relation was used with the wrong number of arguments."""
+
+
+class UndecidableError(ReproError):
+    """The requested analysis is undecidable for this language.
+
+    Raised e.g. when asking for a state-safety *decision* in RC_concat
+    (Corollary 1 of the paper); bounded semi-decision procedures are offered
+    instead.
+    """

@@ -1,0 +1,34 @@
+"""Evaluation engines for the string calculi.
+
+Two engines, one semantics:
+
+* :class:`~repro.eval.automata_engine.AutomataEngine` — exact natural
+  semantics via convolution automata; always terminates; decides
+  state-safety; can return infinite outputs as regular sets.
+* :class:`~repro.eval.direct.DirectEngine` — enumerative evaluation of
+  restricted-quantifier formulas; polynomial data complexity for collapsed
+  RC(S)/RC(S_left)/RC(S_reg) queries, exponential for RC(S_len)'s LENGTH
+  domains (as the paper proves is unavoidable).
+
+:func:`~repro.eval.collapse.collapse` bridges the two: it rewrites natural
+quantifiers into the structure's restricted kind (Theorem 1 / Proposition 4
+/ Theorem 6 made executable).
+"""
+
+from repro.eval.automata_engine import AutomataEngine, evaluate
+from repro.eval.collapse import CollapsedQuery, collapse, default_slack
+from repro.eval.direct import DirectEngine
+from repro.eval.domains import length_domain, prefix_domain
+from repro.eval.result import QueryResult
+
+__all__ = [
+    "AutomataEngine",
+    "CollapsedQuery",
+    "DirectEngine",
+    "QueryResult",
+    "collapse",
+    "default_slack",
+    "evaluate",
+    "length_domain",
+    "prefix_domain",
+]

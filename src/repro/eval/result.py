@@ -1,0 +1,59 @@
+"""Query results: possibly-infinite relations with named columns."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from typing import Optional
+
+from repro.automatic.relation import RelationAutomaton
+from repro.errors import UnsafeQueryError
+
+
+class QueryResult:
+    """The output of a query: a relation over the free variables.
+
+    Produced by the automata engine, where the output is available as a
+    regular set even when infinite; the paper's *state-safety* question
+    "is ``phi(D)`` finite?" is :meth:`is_finite`.
+    """
+
+    __slots__ = ("variables", "relation")
+
+    def __init__(self, variables: Sequence[str], relation: RelationAutomaton):
+        self.variables = tuple(variables)
+        self.relation = relation
+
+    def is_finite(self) -> bool:
+        """True iff the query is safe on this database (finite output)."""
+        return self.relation.is_finite()
+
+    def count(self) -> int:
+        """Number of output tuples; raises ``UnsafeQueryError`` if infinite."""
+        if not self.is_finite():
+            raise UnsafeQueryError("query output is infinite")
+        return self.relation.count()
+
+    def tuples(self, limit: Optional[int] = None) -> Iterator[tuple[str, ...]]:
+        """Iterate output tuples (must pass ``limit`` if infinite)."""
+        if limit is None and not self.is_finite():
+            raise UnsafeQueryError(
+                "query output is infinite; pass limit= to sample it"
+            )
+        return self.relation.tuples(limit=limit)
+
+    def as_set(self) -> frozenset[tuple[str, ...]]:
+        """All output tuples; raises ``UnsafeQueryError`` if infinite."""
+        if not self.is_finite():
+            raise UnsafeQueryError("query output is infinite")
+        return self.relation.set_of_tuples()
+
+    def contains(self, tup: Sequence[str]) -> bool:
+        return self.relation.contains(tup)
+
+    def as_bool(self) -> bool:
+        """Truth value (for Boolean queries / sentences)."""
+        return self.relation.as_bool()
+
+    def __repr__(self) -> str:
+        shape = "finite" if self.is_finite() else "infinite"
+        return f"QueryResult(vars={self.variables}, {shape})"

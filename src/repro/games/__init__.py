@@ -1,0 +1,15 @@
+"""Ehrenfeucht-Fraisse game machinery for the paper's inexpressibility proofs."""
+
+from repro.games.ef import (
+    FiniteStructure,
+    distinguishing_rank,
+    duplicator_wins,
+    string_structure,
+)
+
+__all__ = [
+    "FiniteStructure",
+    "distinguishing_rank",
+    "duplicator_wins",
+    "string_structure",
+]

@@ -1,0 +1,78 @@
+"""First-order logic layer: terms, formulas, parser, transformations.
+
+This is the shared query representation consumed by both evaluation engines
+(:mod:`repro.eval`), the safety analyses (:mod:`repro.safety`), and the
+calculus-to-algebra compiler (:mod:`repro.algebra`).
+"""
+
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    PRED_ARITIES,
+    QuantKind,
+    RelAtom,
+    TrueF,
+    check_atom,
+    fresh_variable,
+)
+from repro.logic.parser import parse_formula
+from repro.logic.terms import (
+    AddFirst,
+    AddLast,
+    EPS,
+    Lcp,
+    StrConst,
+    Term,
+    TrimFirst,
+    Var,
+    as_term,
+)
+from repro.logic.transform import (
+    GRAPH_PREDS,
+    all_variable_names,
+    flatten_terms,
+    has_natural_quantifier,
+    is_active_domain_formula,
+    restrict_quantifiers,
+    to_nnf,
+)
+
+__all__ = [
+    "And",
+    "Atom",
+    "AddFirst",
+    "AddLast",
+    "EPS",
+    "Exists",
+    "FalseF",
+    "Forall",
+    "Formula",
+    "GRAPH_PREDS",
+    "Lcp",
+    "Not",
+    "Or",
+    "PRED_ARITIES",
+    "QuantKind",
+    "RelAtom",
+    "StrConst",
+    "Term",
+    "TrimFirst",
+    "TrueF",
+    "Var",
+    "all_variable_names",
+    "as_term",
+    "check_atom",
+    "flatten_terms",
+    "fresh_variable",
+    "has_natural_quantifier",
+    "is_active_domain_formula",
+    "parse_formula",
+    "restrict_quantifiers",
+    "to_nnf",
+]

@@ -1,0 +1,216 @@
+"""A small builder DSL for writing formulas in Python.
+
+Example — the paper's Section 2 query "some string in R ends with 10"::
+
+    from repro.logic.dsl import exists, rel, last, ext1, V
+
+    q = exists("x", rel("R", "x") & last("x", "0")
+                 & exists("y", ext1("y", "x") & last("y", "1")))
+
+Bare strings denote *variables*; use :func:`lit` for string constants.
+"""
+
+from __future__ import annotations
+
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    QuantKind,
+    RelAtom,
+    TrueF,
+    check_atom,
+)
+from repro.logic.terms import (
+    AddFirst,
+    AddLast,
+    EPS,
+    InsertAt,
+    Lcp,
+    StrConst,
+    Term,
+    TermLike,
+    TrimFirst,
+    Var,
+    as_term,
+)
+
+
+def V(name: str) -> Var:
+    """A variable term."""
+    return Var(name)
+
+
+def lit(value: str) -> StrConst:
+    """A string-literal term."""
+    return StrConst(value)
+
+
+eps = EPS
+
+
+def add_last(t: TermLike, symbol: str) -> AddLast:
+    """``l_a`` applied to ``t``."""
+    return AddLast(as_term(t), symbol)
+
+
+def add_first(t: TermLike, symbol: str) -> AddFirst:
+    """``f_a`` applied to ``t`` (S_left)."""
+    return AddFirst(as_term(t), symbol)
+
+
+def trim_first(t: TermLike, symbol: str) -> TrimFirst:
+    """``TRIM_a`` applied to ``t`` (S_left)."""
+    return TrimFirst(as_term(t), symbol)
+
+
+def lcp(t1: TermLike, t2: TermLike) -> Lcp:
+    """Longest common prefix term."""
+    return Lcp(as_term(t1), as_term(t2))
+
+
+def insert_at(t: TermLike, position: TermLike, symbol: str) -> InsertAt:
+    """``insert_a(t, position)`` — the Section 8 extension (S_insert)."""
+    return InsertAt(as_term(t), as_term(position), symbol)
+
+
+# ------------------------------------------------------------------ atoms
+
+
+def eq(t1: TermLike, t2: TermLike) -> Atom:
+    return check_atom(Atom("eq", (as_term(t1), as_term(t2))))
+
+
+def prefix(t1: TermLike, t2: TermLike) -> Atom:
+    """``t1 <<= t2``."""
+    return check_atom(Atom("prefix", (as_term(t1), as_term(t2))))
+
+
+def sprefix(t1: TermLike, t2: TermLike) -> Atom:
+    """``t1 << t2`` (strict)."""
+    return check_atom(Atom("sprefix", (as_term(t1), as_term(t2))))
+
+
+def ext1(t1: TermLike, t2: TermLike) -> Atom:
+    """``t2`` extends ``t1`` by exactly one symbol (the paper's ``<``)."""
+    return check_atom(Atom("ext1", (as_term(t1), as_term(t2))))
+
+
+def last(t: TermLike, symbol: str) -> Atom:
+    """``L_symbol(t)``."""
+    return check_atom(Atom("last", (as_term(t),), symbol))
+
+
+def el(t1: TermLike, t2: TermLike) -> Atom:
+    """``|t1| = |t2|`` (S_len)."""
+    return check_atom(Atom("el", (as_term(t1), as_term(t2))))
+
+
+def len_le(t1: TermLike, t2: TermLike) -> Atom:
+    """``|t1| <= |t2|`` (S_len)."""
+    return check_atom(Atom("len_le", (as_term(t1), as_term(t2))))
+
+
+def len_lt(t1: TermLike, t2: TermLike) -> Atom:
+    """``|t1| < |t2|`` (S_len)."""
+    return check_atom(Atom("len_lt", (as_term(t1), as_term(t2))))
+
+
+def lex_le(t1: TermLike, t2: TermLike) -> Atom:
+    """``t1 <=_lex t2``."""
+    return check_atom(Atom("lex_le", (as_term(t1), as_term(t2))))
+
+
+def lex_lt(t1: TermLike, t2: TermLike) -> Atom:
+    """``t1 <_lex t2``."""
+    return check_atom(Atom("lex_lt", (as_term(t1), as_term(t2))))
+
+
+def matches(t: TermLike, regex: str) -> Atom:
+    """``t`` belongs to the language of ``regex`` (S_reg's ``P_L(eps, t)``)."""
+    return check_atom(Atom("matches", (as_term(t),), regex))
+
+
+def psuffix(t1: TermLike, t2: TermLike, regex: str) -> Atom:
+    """The paper's ``P_L(t1, t2)``: ``t1 <<= t2`` and ``t2 - t1 in L``."""
+    return check_atom(Atom("psuffix", (as_term(t1), as_term(t2)), regex))
+
+
+def rel(name: str, *args: TermLike) -> RelAtom:
+    """A database relation atom."""
+    return RelAtom(name, tuple(as_term(a) for a in args))
+
+
+# ------------------------------------------------------- quantifiers etc.
+
+
+def exists(var: str, body: Formula, kind: QuantKind = QuantKind.NATURAL) -> Exists:
+    return Exists(var, body, kind)
+
+
+def forall(var: str, body: Formula, kind: QuantKind = QuantKind.NATURAL) -> Forall:
+    return Forall(var, body, kind)
+
+
+def exists_adom(var: str, body: Formula) -> Exists:
+    """Active-domain existential (the paper's ``exists x in adom``)."""
+    return Exists(var, body, QuantKind.ADOM)
+
+
+def forall_adom(var: str, body: Formula) -> Forall:
+    return Forall(var, body, QuantKind.ADOM)
+
+
+def exists_prefix(var: str, body: Formula) -> Exists:
+    """Prefix-restricted existential (Proposition 2's ``ext-dom``)."""
+    return Exists(var, body, QuantKind.PREFIX)
+
+
+def forall_prefix(var: str, body: Formula) -> Forall:
+    return Forall(var, body, QuantKind.PREFIX)
+
+
+def exists_len(var: str, body: Formula) -> Exists:
+    """Length-restricted existential (Proposition 4)."""
+    return Exists(var, body, QuantKind.LENGTH)
+
+
+def forall_len(var: str, body: Formula) -> Forall:
+    return Forall(var, body, QuantKind.LENGTH)
+
+
+def and_(*parts: Formula) -> Formula:
+    if not parts:
+        return TrueF()
+    if len(parts) == 1:
+        return parts[0]
+    return And(tuple(parts))
+
+
+def or_(*parts: Formula) -> Formula:
+    if not parts:
+        return FalseF()
+    if len(parts) == 1:
+        return parts[0]
+    return Or(tuple(parts))
+
+
+def not_(f: Formula) -> Not:
+    return Not(f)
+
+
+def implies(a: Formula, b: Formula) -> Formula:
+    return Or((Not(a), b))
+
+
+def iff(a: Formula, b: Formula) -> Formula:
+    return And((implies(a, b), implies(b, a)))
+
+
+true = TrueF()
+false = FalseF()

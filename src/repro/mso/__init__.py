@@ -1,0 +1,48 @@
+"""MSO over strings, and the Proposition 5 (NP-hardness) pipeline."""
+
+from repro.mso.formulas import (
+    ExistsPos,
+    ExistsSet,
+    InSet,
+    Label,
+    Less,
+    MsoAnd,
+    MsoFormula,
+    MsoNot,
+    MsoOr,
+    PosEq,
+    Succ,
+    forall_pos,
+    forall_set,
+    implies,
+)
+from repro.mso.prop5 import (
+    is_three_colorable_bruteforce,
+    is_three_colorable_via_rc_slen,
+    member_formula,
+    three_colorability_sentence,
+)
+from repro.mso.to_dfa import MsoCompiler, mso_to_dfa
+
+__all__ = [
+    "ExistsPos",
+    "ExistsSet",
+    "InSet",
+    "Label",
+    "Less",
+    "MsoAnd",
+    "MsoCompiler",
+    "MsoFormula",
+    "MsoNot",
+    "MsoOr",
+    "PosEq",
+    "Succ",
+    "forall_pos",
+    "forall_set",
+    "implies",
+    "is_three_colorable_bruteforce",
+    "is_three_colorable_via_rc_slen",
+    "member_formula",
+    "mso_to_dfa",
+    "three_colorability_sentence",
+]

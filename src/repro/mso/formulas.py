@@ -1,0 +1,240 @@
+"""Monadic second-order logic over finite strings.
+
+MSO(SC) is the yardstick of Proposition 5: every MSO query (3-colorability
+included) is expressible in RC(S_len) over bounded-width databases.  This
+module gives MSO over *strings* — positions, the label predicates ``Q_a``,
+order, and set quantification — whose classical equivalence with regular
+languages (Buchi-Elgot-Trakhtenbrot) is implemented in
+:mod:`repro.mso.to_dfa`.
+
+Position variables are lowercase by convention, set variables uppercase,
+but nothing is enforced beyond the node types used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class MsoFormula:
+    """Base class of MSO formula nodes."""
+
+    def children(self) -> tuple["MsoFormula", ...]:
+        return ()
+
+    def walk(self) -> Iterator["MsoFormula"]:
+        yield self
+        for c in self.children():
+            yield from c.walk()
+
+    def free_position_vars(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def free_set_vars(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def __and__(self, other: "MsoFormula") -> "MsoFormula":
+        return MsoAnd((self, other))
+
+    def __or__(self, other: "MsoFormula") -> "MsoFormula":
+        return MsoOr((self, other))
+
+    def __invert__(self) -> "MsoFormula":
+        return MsoNot(self)
+
+
+@dataclass(frozen=True)
+class Label(MsoFormula):
+    """``Q_a(x)``: position ``x`` carries symbol ``symbol``."""
+
+    var: str
+    symbol: str
+
+    def free_position_vars(self) -> frozenset[str]:
+        return frozenset([self.var])
+
+    def free_set_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"Q_{self.symbol}({self.var})"
+
+
+@dataclass(frozen=True)
+class Less(MsoFormula):
+    """``x < y`` on positions."""
+
+    left: str
+    right: str
+
+    def free_position_vars(self) -> frozenset[str]:
+        return frozenset([self.left, self.right])
+
+    def free_set_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"{self.left} < {self.right}"
+
+
+@dataclass(frozen=True)
+class Succ(MsoFormula):
+    """``y = x + 1`` on positions."""
+
+    left: str
+    right: str
+
+    def free_position_vars(self) -> frozenset[str]:
+        return frozenset([self.left, self.right])
+
+    def free_set_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"{self.right} = {self.left}+1"
+
+
+@dataclass(frozen=True)
+class PosEq(MsoFormula):
+    """``x = y`` on positions."""
+
+    left: str
+    right: str
+
+    def free_position_vars(self) -> frozenset[str]:
+        return frozenset([self.left, self.right])
+
+    def free_set_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class InSet(MsoFormula):
+    """``x in X``: position membership in a set variable."""
+
+    pos: str
+    set_var: str
+
+    def free_position_vars(self) -> frozenset[str]:
+        return frozenset([self.pos])
+
+    def free_set_vars(self) -> frozenset[str]:
+        return frozenset([self.set_var])
+
+    def __str__(self) -> str:
+        return f"{self.pos} in {self.set_var}"
+
+
+@dataclass(frozen=True)
+class MsoNot(MsoFormula):
+    inner: MsoFormula
+
+    def children(self) -> tuple[MsoFormula, ...]:
+        return (self.inner,)
+
+    def free_position_vars(self) -> frozenset[str]:
+        return self.inner.free_position_vars()
+
+    def free_set_vars(self) -> frozenset[str]:
+        return self.inner.free_set_vars()
+
+    def __str__(self) -> str:
+        return f"!({self.inner})"
+
+
+@dataclass(frozen=True)
+class MsoAnd(MsoFormula):
+    parts: tuple[MsoFormula, ...]
+
+    def children(self) -> tuple[MsoFormula, ...]:
+        return self.parts
+
+    def free_position_vars(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for p in self.parts:
+            out |= p.free_position_vars()
+        return out
+
+    def free_set_vars(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for p in self.parts:
+            out |= p.free_set_vars()
+        return out
+
+    def __str__(self) -> str:
+        return " & ".join(f"({p})" for p in self.parts)
+
+
+@dataclass(frozen=True)
+class MsoOr(MsoFormula):
+    parts: tuple[MsoFormula, ...]
+
+    def children(self) -> tuple[MsoFormula, ...]:
+        return self.parts
+
+    def free_position_vars(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for p in self.parts:
+            out |= p.free_position_vars()
+        return out
+
+    def free_set_vars(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for p in self.parts:
+            out |= p.free_set_vars()
+        return out
+
+    def __str__(self) -> str:
+        return " | ".join(f"({p})" for p in self.parts)
+
+
+@dataclass(frozen=True)
+class ExistsPos(MsoFormula):
+    var: str
+    body: MsoFormula
+
+    def children(self) -> tuple[MsoFormula, ...]:
+        return (self.body,)
+
+    def free_position_vars(self) -> frozenset[str]:
+        return self.body.free_position_vars() - {self.var}
+
+    def free_set_vars(self) -> frozenset[str]:
+        return self.body.free_set_vars()
+
+    def __str__(self) -> str:
+        return f"exists {self.var}. ({self.body})"
+
+
+@dataclass(frozen=True)
+class ExistsSet(MsoFormula):
+    var: str
+    body: MsoFormula
+
+    def children(self) -> tuple[MsoFormula, ...]:
+        return (self.body,)
+
+    def free_position_vars(self) -> frozenset[str]:
+        return self.body.free_position_vars()
+
+    def free_set_vars(self) -> frozenset[str]:
+        return self.body.free_set_vars() - {self.var}
+
+    def __str__(self) -> str:
+        return f"EXISTS {self.var}. ({self.body})"
+
+
+def forall_pos(var: str, body: MsoFormula) -> MsoFormula:
+    return MsoNot(ExistsPos(var, MsoNot(body)))
+
+
+def forall_set(var: str, body: MsoFormula) -> MsoFormula:
+    return MsoNot(ExistsSet(var, MsoNot(body)))
+
+
+def implies(a: MsoFormula, b: MsoFormula) -> MsoFormula:
+    return MsoOr((MsoNot(a), b))

@@ -1,0 +1,124 @@
+"""Proposition 5: MSO queries in RC(S_len) over bounded-width databases.
+
+The paper: "For every fixed k, all MSO(SC)-expressible queries can be
+expressed over databases of width at most k in RC(S_len)" — so RC(S_len)
+contains NP-complete (3-colorability) and coNP-complete queries on such
+inputs, which is the hardness half of Theorem 2's PH bound.
+
+This module implements the classical witness: **graph 3-colorability**.
+
+Encoding (matches :func:`repro.database.graph_database`): vertex ``i`` is
+the string ``1^i 0`` — a prefix antichain (width 1) whose members have
+pairwise distinct lengths.  A set ``C`` of vertices is coded by a single
+string ``y``: vertex ``v`` is in ``C`` iff the prefix ``p`` of ``y`` with
+``|p| = |v|`` ends in ``1``.  Membership is then the RC(S_len) formula::
+
+    in(v, y) = exists p: p <<= y and el(p, v) and last(p, '1')
+
+and 3-colorability quantifies three color strings (length-restricted —
+``|y| <= max |adom|`` suffices), checks that the colors cover every vertex
+with no vertex twice, and that edges are bichromatic.  Evaluating this
+query through the direct engine costs ``2^O(n)`` — exactly the
+exponential the ``down`` operator / LENGTH domain price that the paper
+calls unavoidable.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.database.instance import Database
+from repro.eval.direct import DirectEngine
+from repro.logic.dsl import (
+    and_,
+    el,
+    exists,
+    exists_len,
+    exists_prefix,
+    forall_adom,
+    implies,
+    last,
+    not_,
+    or_,
+    prefix,
+    rel,
+)
+from repro.logic.formulas import Formula, QuantKind
+from repro.structures.catalog import S_len
+from repro.strings.alphabet import Alphabet
+
+
+def member_formula(vertex_var: str, color_var: str, p_var: str) -> Formula:
+    """``in(vertex, color)`` via the equal-length prefix trick."""
+    return exists_prefix(
+        p_var,
+        and_(
+            prefix(p_var, color_var),
+            el(p_var, vertex_var),
+            last(p_var, "1"),
+        ),
+    )
+
+
+def three_colorability_sentence() -> Formula:
+    """The RC(S_len) sentence "the graph (V, E) is 3-colorable".
+
+    Color classes are the strings ``y1, y2, y3`` (length-restricted);
+    schema: unary ``V``, binary ``E``.
+    """
+    v, u = "v", "u"
+    colors = ("y1", "y2", "y3")
+
+    def inc(vertex: str, color: str, tag: str) -> Formula:
+        return member_formula(vertex, color, f"p{tag}")
+
+    some_color = or_(*[inc(v, c, f"a{i}") for i, c in enumerate(colors)])
+    not_two = and_(
+        *[
+            not_(and_(inc(v, c1, f"b{i}"), inc(v, c2, f"c{i}")))
+            for i, (c1, c2) in enumerate(itertools.combinations(colors, 2))
+        ]
+    )
+    proper = forall_adom(
+        v, implies(rel("V", v), and_(some_color, not_two))
+    )
+    edges_ok = forall_adom(
+        u,
+        forall_adom(
+            v,
+            implies(
+                rel("E", u, v),
+                and_(
+                    *[
+                        not_(and_(inc(u, c, f"d{i}"), inc(v, c, f"e{i}")))
+                        for i, c in enumerate(colors)
+                    ]
+                ),
+            ),
+        ),
+    )
+    body = and_(proper, edges_ok)
+    sentence: Formula = body
+    for c in reversed(colors):
+        sentence = exists_len(c, sentence)
+    return sentence
+
+
+def is_three_colorable_via_rc_slen(database: Database) -> bool:
+    """Decide 3-colorability by evaluating the RC(S_len) sentence.
+
+    ``database`` must use the ``1^i 0`` vertex encoding
+    (:func:`repro.database.graph_database`).  Exponential in the number of
+    vertices — that is Proposition 5's point, benchmarked in
+    ``benchmarks/bench_prop5_np_hardness.py``.
+    """
+    engine = DirectEngine(S_len(database.alphabet), database, slack=0)
+    return engine.decide(three_colorability_sentence())
+
+
+def is_three_colorable_bruteforce(n_vertices: int, edges: list[tuple[int, int]]) -> bool:
+    """Baseline: try all ``3^n`` colorings directly on the graph."""
+    for coloring in itertools.product(range(3), repeat=n_vertices):
+        if all(coloring[u] != coloring[w] for (u, w) in edges):
+            return True
+    return n_vertices == 0

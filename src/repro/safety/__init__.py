@@ -1,0 +1,40 @@
+"""Safety analysis: state-safety, range restriction, CQ safety, enumeration.
+
+The paper's Section 6 (and its Section 7 extensions), executable:
+
+* :func:`is_safe_on` / :func:`analyze_state_safety` — Proposition 7;
+* :func:`range_restrict` / :class:`RangeRestrictedQuery` — Theorems 3/7;
+* :func:`cq_is_safe` — Theorem 5 / Corollaries 6/8;
+* :func:`enumerate_safe_queries` — Corollaries 5/9 (effective syntax);
+* :func:`finiteness_formula` — finiteness definable with parameters in
+  S_len (and, per Proposition 6, *not* in S — demonstrated in the EF-game
+  tests).
+"""
+
+from repro.safety.cq_safety import (
+    ConjunctiveQuery,
+    cq_is_safe,
+    finiteness_formula,
+    union_is_safe,
+)
+from repro.safety.effective_syntax import enumerate_safe_queries
+from repro.safety.range_restriction import (
+    RangeRestrictedQuery,
+    output_bound_relation,
+    range_restrict,
+)
+from repro.safety.state_safety import SafetyReport, analyze_state_safety, is_safe_on
+
+__all__ = [
+    "ConjunctiveQuery",
+    "RangeRestrictedQuery",
+    "SafetyReport",
+    "analyze_state_safety",
+    "cq_is_safe",
+    "enumerate_safe_queries",
+    "finiteness_formula",
+    "is_safe_on",
+    "output_bound_relation",
+    "range_restrict",
+    "union_is_safe",
+]

@@ -1,0 +1,157 @@
+"""Deciding (query) safety of conjunctive queries (Theorem 5, Corollary 6).
+
+Query safety — "is ``phi(D)`` finite for *every* database ``D``?" — is
+undecidable for full relational calculus, but the paper shows it is
+decidable for conjunctive queries (and their Boolean combinations) over S
+and S_len, via two ingredients it establishes for S_len:
+
+1. the first-order theory of S_len is decidable (here: the automata
+   engine over the empty database decides any M-sentence);
+2. finiteness is definable with parameters: for ``psi(z, y)`` the formula
+
+       psi_fin(y) = exists u forall z ( psi(z, y) -> /\\ len_le(z_i, u) )
+
+   holds exactly when ``{z | psi(z, y)}`` is finite.
+
+For a conjunctive query ``phi(x) = exists y /\\ S_i(u_i) and gamma(x, y)``
+(:class:`ConjunctiveQuery`), let ``A`` be the variables *anchored* in some
+relation atom.  Over any database the anchored variables take finitely
+many values, and every combination of values is realizable by some
+database; hence
+
+    phi is safe for all D
+        iff  M |= forall A . Fin_{x\\A} ( exists (y\\A) . gamma )
+
+which is an M-sentence, decided exactly.  Since every operation of S,
+S_left and S_reg is expressible over S_len, the decision runs over S_len
+(Corollary 8's argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.database.instance import Database
+from repro.errors import SignatureError
+from repro.eval.automata_engine import AutomataEngine
+from repro.logic.dsl import and_, len_le
+from repro.logic.formulas import (
+    And,
+    Exists,
+    Forall,
+    Formula,
+    QuantKind,
+    RelAtom,
+    TrueF,
+)
+from repro.logic.terms import Var
+from repro.structures.base import StringStructure
+from repro.structures.catalog import S_len
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """``phi(head) :- S_1(u_1), ..., S_k(u_k), gamma(head, exist_vars)``.
+
+    ``condition`` is a pure M-formula (no database relations); every
+    variable of ``condition`` must be a head variable, an atom variable,
+    or listed in ``existential_vars``.
+    """
+
+    head: tuple[str, ...]
+    atoms: tuple[RelAtom, ...]
+    condition: Formula
+    existential_vars: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.condition.relation_names():
+            raise SignatureError("the condition of a CQ must be database-free")
+        for atom in self.atoms:
+            for t in atom.args:
+                if not isinstance(t, Var):
+                    raise SignatureError("CQ atoms must have variable arguments")
+
+    def anchored_variables(self) -> frozenset[str]:
+        """Variables occurring in some relation atom."""
+        out: set[str] = set()
+        for atom in self.atoms:
+            out |= atom.free_variables()
+        return frozenset(out)
+
+    def all_variables(self) -> frozenset[str]:
+        return (
+            frozenset(self.head)
+            | frozenset(self.existential_vars)
+            | self.anchored_variables()
+            | self.condition.free_variables()
+        )
+
+    def to_formula(self) -> Formula:
+        """The RC(M) formula ``exists y-bar: atoms and condition``."""
+        body_parts: list[Formula] = list(self.atoms)
+        if not isinstance(self.condition, TrueF):
+            body_parts.append(self.condition)
+        body = and_(*body_parts) if body_parts else TrueF()
+        bound = [v for v in self.all_variables() - set(self.head)]
+        for v in sorted(bound, reverse=True):
+            body = Exists(v, body, QuantKind.NATURAL)
+        return body
+
+    def evaluate(self, structure: StringStructure, database: Database):
+        """Run the CQ on a database (automata engine, exact)."""
+        return AutomataEngine(structure, database).run(self.to_formula())
+
+
+def finiteness_formula(psi: Formula, bound_vars: Sequence[str]) -> Formula:
+    """The paper's ``psi_fin``: parameters are ``psi``'s other free vars.
+
+    ``M |= psi_fin(y)`` iff ``{z-bar | M |= psi(z-bar, y)}`` is finite,
+    because a set of string tuples is finite iff componentwise
+    length-bounded — expressed with ``len_le`` and one witness ``u``.
+    """
+    bound_vars = list(bound_vars)
+    used = psi.free_variables() | set(bound_vars)
+    u = "u"
+    while u in used:
+        u += "_"
+    guards = and_(*[len_le(Var(z), Var(u)) for z in bound_vars])
+    inner: Formula = psi.implies(guards)
+    for z in sorted(bound_vars, reverse=True):
+        inner = Forall(z, inner, QuantKind.NATURAL)
+    return Exists(u, inner, QuantKind.NATURAL)
+
+
+def cq_is_safe(cq: ConjunctiveQuery, structure: StringStructure) -> bool:
+    """Decide query safety (over all databases) of a conjunctive query.
+
+    Decided as an S_len sentence regardless of ``structure`` (all four
+    tame structures embed in S_len), evaluated exactly by the automata
+    engine over the empty database.
+    """
+    structure.check_formula(cq.condition)
+    anchored = cq.anchored_variables()
+    floating_head = sorted(set(cq.head) - anchored)
+    if not floating_head:
+        return True  # every head variable is anchored in a finite relation
+    floating_exist = sorted(
+        (set(cq.existential_vars) | cq.condition.free_variables())
+        - anchored
+        - set(cq.head)
+    )
+    # exists (floating existentials): gamma
+    psi: Formula = cq.condition
+    for v in reversed(floating_exist):
+        psi = Exists(v, psi, QuantKind.NATURAL)
+    fin = finiteness_formula(psi, floating_head)
+    sentence: Formula = fin
+    for v in sorted(anchored, reverse=True):
+        sentence = Forall(v, sentence, QuantKind.NATURAL)
+    ambient = S_len(structure.alphabet)
+    empty_db = Database(structure.alphabet, {})
+    return AutomataEngine(ambient, empty_db).decide(sentence, check_signature=False)
+
+
+def union_is_safe(cqs: Sequence[ConjunctiveQuery], structure: StringStructure) -> bool:
+    """A union of CQs is safe iff every disjunct is safe."""
+    return all(cq_is_safe(cq, structure) for cq in cqs)

@@ -1,0 +1,116 @@
+"""Range-restricted queries (paper Section 6.1, Theorems 3 and 7).
+
+A range-restricted query is a pair ``(gamma, phi)`` of an *algebraic*
+bound formula and an arbitrary query; its semantics is ``Q(D) =
+gamma(adom(D)) intersect phi(D)`` — finite by construction.  The paper's
+theorems produce, for every query ``phi``, a ``gamma`` from a recursive
+family such that ``(gamma, phi)`` agrees with ``phi`` on every database
+where ``phi`` is safe.
+
+The recursive families here are exactly the paper's:
+
+* for S (and S_reg): ``gamma_k(x, y)`` = "x is a prefix of a string
+  ``y . sigma`` with ``|sigma| <= k``" (Lemma 1's bound);
+* for S_left: two-sided version (Theorem 7);
+* for S_len: ``gamma_k(x, y)`` = "``|x| <= |y| + k``" (Lemma 2's bound).
+
+The witness distance ``d(s, prefix(D))`` / ``d(s, down(D))`` driving the
+lemmas is computable via :func:`repro.strings.d_distance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automatic.relation import RelationAutomaton
+from repro.database.instance import Database
+from repro.errors import UnsafeQueryError
+from repro.eval.automata_engine import AutomataEngine
+from repro.eval.collapse import default_slack
+from repro.eval.domains import extension_set_relation, length_bound_set_relation
+from repro.logic.formulas import Formula, QuantKind
+from repro.structures.base import StringStructure
+
+
+def output_bound_relation(
+    structure: StringStructure, database: Database, slack: int
+) -> RelationAutomaton:
+    """The unary set ``gamma_slack(adom(D))`` as an automaton.
+
+    * PREFIX-collapsing structures (S, S_left, S_reg): strings within a
+      ``slack``-symbol extension of ``prefix(adom)`` — for S_left the
+      extension-set construction covers right extensions; left extensions
+      of bounded depth are added explicitly;
+    * S_len: all strings of length at most ``max |adom| + slack``.
+    """
+    alphabet = structure.alphabet
+    adom = sorted(database.adom)
+    if structure.restricted_kind is QuantKind.LENGTH:
+        max_len = max((len(s) for s in adom), default=0)
+        return length_bound_set_relation(alphabet, max_len + slack)
+    base: set[str] = set(adom)
+    if structure.name == "S_left":
+        # Close the base under <= slack left-prepends so the extension set
+        # covers strings like a.x for x in adom (Theorem 7's wider Gamma).
+        frontier = set(base)
+        for _ in range(slack):
+            frontier = {a + s for a in alphabet.symbols for s in frontier}
+            base |= frontier
+    return extension_set_relation(alphabet, sorted(base), slack)
+
+
+@dataclass(frozen=True)
+class RangeRestrictedQuery:
+    """The pair ``(gamma, phi)`` with executable semantics.
+
+    ``slack`` identifies ``gamma`` within the recursive family Gamma.
+    """
+
+    formula: Formula
+    structure: StringStructure
+    slack: int
+
+    def evaluate(self, database: Database) -> frozenset[tuple[str, ...]]:
+        """``gamma(adom(D)) intersect phi(D)`` — always finite."""
+        result = AutomataEngine(self.structure, database).run(self.formula)
+        bound = output_bound_relation(self.structure, database, self.slack)
+        relation = result.relation
+        for track in range(relation.arity):
+            aligned = bound
+            for pos in range(relation.arity):
+                if pos < track:
+                    aligned = aligned.cylindrify(0)
+                elif pos > track:
+                    aligned = aligned.cylindrify(aligned.arity)
+            relation = relation.intersection(aligned)
+        if not relation.is_finite():  # pragma: no cover - bound guarantees finite
+            raise UnsafeQueryError("range-restricted output not finite (bug)")
+        return relation.set_of_tuples()
+
+    def agrees_with_original_on(self, database: Database) -> bool:
+        """Check the Theorem 3/7 guarantee on one database.
+
+        True when either the original query is unsafe on ``database`` (the
+        guarantee only speaks about safe instances) or the restricted
+        output equals the original output.
+        """
+        result = AutomataEngine(self.structure, database).run(self.formula)
+        if not result.is_finite():
+            return True
+        return self.evaluate(database) == result.as_set()
+
+
+def range_restrict(
+    formula: Formula,
+    structure: StringStructure,
+    slack: int | None = None,
+) -> RangeRestrictedQuery:
+    """Theorem 3/7: pick ``gamma`` (i.e. the slack ``k``) for ``phi``.
+
+    The slack is derived from the quantifier rank exactly as in
+    :func:`repro.eval.collapse.default_slack`; pass ``slack`` to override.
+    """
+    structure.check_formula(formula)
+    if slack is None:
+        slack = default_slack(formula)
+    return RangeRestrictedQuery(formula, structure, slack)

@@ -1,0 +1,52 @@
+"""State-safety: is ``phi(D)`` finite?  (Proposition 7 of the paper.)
+
+Decidable for RC(S), RC(S_left), RC(S_reg), RC(S_len): compile the query
+and the database into a convolution automaton and test language finiteness
+(a trimmed DFA has a finite language iff its graph is acyclic).  The same
+call also yields the exact output — finite outputs can be materialized,
+infinite ones remain available as a regular set.
+
+Contrast Corollary 1: for RC_concat state-safety is *undecidable* (see
+:mod:`repro.concat`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.database.instance import Database
+from repro.eval.automata_engine import AutomataEngine
+from repro.eval.result import QueryResult
+from repro.logic.formulas import Formula
+from repro.structures.base import StringStructure
+
+
+@dataclass(frozen=True)
+class SafetyReport:
+    """Outcome of a state-safety check."""
+
+    safe: bool
+    result: QueryResult
+
+    @property
+    def output_size(self) -> int | None:
+        """Number of output tuples when finite, else ``None``."""
+        return self.result.count() if self.safe else None
+
+
+def analyze_state_safety(
+    formula: Formula, structure: StringStructure, database: Database
+) -> SafetyReport:
+    """Decide whether ``formula`` is safe on ``database`` (Proposition 7).
+
+    Returns the full report; use :func:`is_safe_on` for just the bit.
+    """
+    result = AutomataEngine(structure, database).run(formula)
+    return SafetyReport(result.is_finite(), result)
+
+
+def is_safe_on(
+    formula: Formula, structure: StringStructure, database: Database
+) -> bool:
+    """True iff the query's output on this database is finite."""
+    return analyze_state_safety(formula, structure, database).safe

@@ -1,0 +1,30 @@
+"""SQL front end: LIKE, SIMILAR TO, and a mini-SELECT translator."""
+
+from repro.sql.like import (
+    compile_like,
+    like_atom,
+    like_matches,
+    like_to_regex_text,
+    parse_like,
+)
+from repro.sql.select import TranslatedQuery, translate_select
+from repro.sql.similar import (
+    compile_similar,
+    similar_atom,
+    similar_matches,
+    similar_to_regex_text,
+)
+
+__all__ = [
+    "TranslatedQuery",
+    "compile_like",
+    "compile_similar",
+    "like_atom",
+    "like_matches",
+    "like_to_regex_text",
+    "parse_like",
+    "similar_atom",
+    "similar_matches",
+    "similar_to_regex_text",
+    "translate_select",
+]

@@ -1,0 +1,330 @@
+"""A mini-SQL front end compiled into the string calculi.
+
+The paper's point of departure: SQL mixes string pattern matching and
+relational operations in ad-hoc, non-compositional ways, and the calculi
+RC(S) <= RC(S_reg) <= RC(S_len) are the principled target model.  This
+module makes the correspondence concrete: a small SQL dialect is parsed
+and translated into a calculus formula, and the translator reports the
+**weakest structure** that supports the query:
+
+* plain comparisons, prefix tests and LIKE -> S;
+* SIMILAR TO -> S_reg;
+* LENGTH comparisons -> S_len.
+
+Grammar (case-insensitive keywords)::
+
+    query   := SELECT items FROM tables [WHERE cond]
+    items   := colref {"," colref}
+    tables  := NAME alias {"," NAME alias}
+    colref  := alias "." INT            -- 1-based column of a table
+    cond    := disj
+    disj    := conj {OR conj}
+    conj    := atom {AND atom}
+    atom    := NOT atom | "(" cond ")"
+             | colref LIKE STRING | colref NOT LIKE STRING
+             | colref SIMILAR TO STRING
+             | colref ("=" | "<>" | "<" | "<=") (colref | STRING)
+             | PREFIX "(" colref "," colref ")"
+             | LENGTH "(" colref ")" ("=" | "<=" | "<") LENGTH "(" colref ")"
+
+``<`` / ``<=`` on strings are lexicographic (SQL's ORDER-BY comparators).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.database.schema import Schema
+from repro.errors import ParseError
+from repro.logic.dsl import (
+    and_,
+    el,
+    eq,
+    exists_adom,
+    len_le,
+    len_lt,
+    lex_le,
+    lex_lt,
+    lit,
+    not_,
+    or_,
+    prefix,
+    rel,
+)
+from repro.logic.formulas import Formula
+from repro.logic.terms import Var
+from repro.sql.like import like_to_regex_text
+from repro.sql.similar import similar_to_regex_text
+from repro.logic.dsl import matches as matches_atom
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<number>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><>|<=|=|<|\(|\)|,|\.)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "and", "or", "not", "like", "similar",
+    "to", "prefix", "length", "escape",
+}
+
+
+@dataclass
+class _Tok:
+    kind: str
+    text: str
+    pos: int
+
+    @property
+    def lower(self) -> str:
+        return self.text.lower()
+
+
+def _tokenize(text: str) -> list[_Tok]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", text, pos)
+        if m.lastgroup != "ws":
+            tokens.append(_Tok(m.lastgroup or "", m.group(), pos))
+        pos = m.end()
+    tokens.append(_Tok("eof", "", len(text)))
+    return tokens
+
+
+@dataclass(frozen=True)
+class TranslatedQuery:
+    """A SELECT query translated to the calculus."""
+
+    formula: Formula
+    output_variables: tuple[str, ...]
+    structure_name: str  # weakest structure supporting the query
+
+
+class _SelectParser:
+    def __init__(self, text: str, schema: Schema):
+        self.text = text
+        self.schema = schema
+        self.tokens = _tokenize(text)
+        self.idx = 0
+        self.tables: dict[str, str] = {}  # alias -> relation name
+        self.needs: set[str] = set()  # {"reg", "len"}
+
+    # -- plumbing ------------------------------------------------------------
+
+    def peek(self) -> _Tok:
+        return self.tokens[self.idx]
+
+    def advance(self) -> _Tok:
+        tok = self.tokens[self.idx]
+        self.idx += 1
+        return tok
+
+    def expect_kw(self, word: str) -> None:
+        tok = self.advance()
+        if tok.lower != word:
+            raise ParseError(f"expected {word.upper()}, found {tok.text!r}", self.text, tok.pos)
+
+    def expect_op(self, op: str) -> None:
+        tok = self.advance()
+        if tok.text != op:
+            raise ParseError(f"expected {op!r}, found {tok.text!r}", self.text, tok.pos)
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.text, self.peek().pos)
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse(self) -> TranslatedQuery:
+        self.expect_kw("select")
+        items = [self._colref()]
+        while self.peek().text == ",":
+            self.advance()
+            items.append(self._colref())
+        self.expect_kw("from")
+        self._tables()
+        condition: Formula | None = None
+        if self.peek().lower == "where":
+            self.advance()
+            condition = self._disj()
+        if self.peek().kind != "eof":
+            raise self.error(f"trailing input {self.peek().text!r}")
+        return self._translate(items, condition)
+
+    def _tables(self) -> None:
+        while True:
+            name_tok = self.advance()
+            if name_tok.kind != "name" or name_tok.lower in _KEYWORDS:
+                raise ParseError("expected table name", self.text, name_tok.pos)
+            alias_tok = self.advance()
+            if alias_tok.kind != "name" or alias_tok.lower in _KEYWORDS:
+                raise ParseError("expected table alias", self.text, alias_tok.pos)
+            if alias_tok.text in self.tables:
+                raise ParseError(f"duplicate alias {alias_tok.text!r}", self.text, alias_tok.pos)
+            if name_tok.text not in self.schema:
+                raise ParseError(f"unknown table {name_tok.text!r}", self.text, name_tok.pos)
+            self.tables[alias_tok.text] = name_tok.text
+            if self.peek().text == ",":
+                self.advance()
+                continue
+            return
+
+    def _colref(self) -> tuple[str, int]:
+        alias_tok = self.advance()
+        if alias_tok.kind != "name":
+            raise ParseError("expected column reference", self.text, alias_tok.pos)
+        self.expect_op(".")
+        col_tok = self.advance()
+        if col_tok.kind != "number":
+            raise ParseError("expected column number", self.text, col_tok.pos)
+        return alias_tok.text, int(col_tok.text)
+
+    def _disj(self) -> Formula:
+        parts = [self._conj()]
+        while self.peek().lower == "or":
+            self.advance()
+            parts.append(self._conj())
+        return or_(*parts)
+
+    def _conj(self) -> Formula:
+        parts = [self._atom()]
+        while self.peek().lower == "and":
+            self.advance()
+            parts.append(self._atom())
+        return and_(*parts)
+
+    def _atom(self) -> Formula:
+        tok = self.peek()
+        if tok.lower == "not":
+            self.advance()
+            return not_(self._atom())
+        if tok.text == "(":
+            self.advance()
+            inner = self._disj()
+            self.expect_op(")")
+            return inner
+        if tok.lower == "prefix":
+            self.advance()
+            self.expect_op("(")
+            a = self._term()
+            self.expect_op(",")
+            b = self._term()
+            self.expect_op(")")
+            return prefix(a, b)
+        if tok.lower == "length":
+            return self._length_atom()
+        left = self._term()
+        op_tok = self.advance()
+        if op_tok.lower == "like" or (op_tok.lower == "not" and self.peek().lower == "like"):
+            negated = op_tok.lower == "not"
+            if negated:
+                self.advance()  # LIKE
+            pattern = self._string()
+            escape = None
+            if self.peek().lower == "escape":
+                self.advance()
+                escape = self._string()
+                if len(escape) != 1:
+                    raise self.error("ESCAPE requires a single character")
+            atom = matches_atom(left, like_to_regex_text(pattern, escape))
+            return not_(atom) if negated else atom
+        if op_tok.lower == "similar":
+            self.expect_kw("to")
+            pattern = self._string()
+            self.needs.add("reg")
+            return matches_atom(left, similar_to_regex_text(pattern))
+        if op_tok.text in ("=", "<>", "<", "<="):
+            right = self._term()
+            if op_tok.text == "=":
+                return eq(left, right)
+            if op_tok.text == "<>":
+                return not_(eq(left, right))
+            if op_tok.text == "<":
+                return lex_lt(left, right)
+            return lex_le(left, right)
+        raise ParseError(f"unexpected {op_tok.text!r}", self.text, op_tok.pos)
+
+    def _length_atom(self) -> Formula:
+        self.expect_kw("length")
+        self.expect_op("(")
+        a = self._term()
+        self.expect_op(")")
+        op_tok = self.advance()
+        if op_tok.text not in ("=", "<=", "<"):
+            raise ParseError("expected =, <= or < after LENGTH()", self.text, op_tok.pos)
+        self.expect_kw("length")
+        self.expect_op("(")
+        b = self._term()
+        self.expect_op(")")
+        self.needs.add("len")
+        if op_tok.text == "=":
+            return el(a, b)
+        if op_tok.text == "<=":
+            return len_le(a, b)
+        return len_lt(a, b)
+
+    def _term(self):
+        tok = self.peek()
+        if tok.kind == "string":
+            self.advance()
+            return lit(self._unquote(tok.text))
+        alias, column = self._colref()
+        return Var(self._var(alias, column))
+
+    def _string(self) -> str:
+        tok = self.advance()
+        if tok.kind != "string":
+            raise ParseError("expected string literal", self.text, tok.pos)
+        return self._unquote(tok.text)
+
+    @staticmethod
+    def _unquote(raw: str) -> str:
+        return raw[1:-1].replace("''", "'")
+
+    def _var(self, alias: str, column: int) -> str:
+        if alias not in self.tables:
+            raise self.error(f"unknown alias {alias!r}")
+        table = self.tables[alias]
+        arity = self.schema.arity(table)
+        if not 1 <= column <= arity:
+            raise self.error(f"column {column} out of range for {table} (arity {arity})")
+        return f"{alias}_{column}"
+
+    # -- translation -------------------------------------------------------
+
+    def _translate(
+        self, items: list[tuple[str, int]], condition: Formula | None
+    ) -> TranslatedQuery:
+        atoms = []
+        all_vars: list[str] = []
+        for alias, table in self.tables.items():
+            arity = self.schema.arity(table)
+            names = [self._var(alias, c) for c in range(1, arity + 1)]
+            all_vars.extend(names)
+            atoms.append(rel(table, *names))
+        body = and_(*atoms) if atoms else None
+        if condition is not None:
+            body = condition if body is None else body & condition
+        assert body is not None
+        output = tuple(self._var(alias, c) for alias, c in items)
+        for v in sorted(set(all_vars) - set(output), reverse=True):
+            body = exists_adom(v, body)
+        structure_name = "S"
+        if "len" in self.needs:
+            structure_name = "S_len"
+        elif "reg" in self.needs:
+            structure_name = "S_reg"
+        return TranslatedQuery(body, output, structure_name)
+
+
+def translate_select(sql: str, schema: Schema) -> TranslatedQuery:
+    """Parse and translate a SELECT statement against ``schema``."""
+    return _SelectParser(sql, schema).parse()

@@ -1,0 +1,56 @@
+"""String kernel: alphabets and the paper's Section 2 string operations.
+
+This package implements the primitive vocabulary of *String Operations in
+Query Languages* (PODS 2001): the alphabet abstraction, the prefix order on
+Sigma*, the add-first/add-last/trim functions, relative suffix, longest
+common prefix, length comparison, lexicographic order, and the closure
+operators (prefix-closure, down-closure) used in the safety analysis.
+"""
+
+from repro.strings.alphabet import Alphabet, BINARY, ABC
+from repro.strings.ops import (
+    add_first,
+    add_last,
+    d_distance,
+    down_closure,
+    equal_length,
+    extends_by_one,
+    is_prefix,
+    is_strict_prefix,
+    last_symbol_is,
+    lcp,
+    lcp_with_set,
+    lex_key,
+    lex_le,
+    lex_lt,
+    prefix_closure,
+    prefixes,
+    subtract,
+    trim_first,
+    trim_trailing,
+)
+
+__all__ = [
+    "ABC",
+    "Alphabet",
+    "BINARY",
+    "add_first",
+    "add_last",
+    "d_distance",
+    "down_closure",
+    "equal_length",
+    "extends_by_one",
+    "is_prefix",
+    "is_strict_prefix",
+    "last_symbol_is",
+    "lcp",
+    "lcp_with_set",
+    "lex_key",
+    "lex_le",
+    "lex_lt",
+    "prefix_closure",
+    "prefixes",
+    "subtract",
+    "trim_first",
+    "trim_trailing",
+]

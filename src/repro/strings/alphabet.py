@@ -1,0 +1,126 @@
+"""Finite, ordered alphabets.
+
+The paper fixes a finite alphabet ``Sigma`` and works over ``Sigma*``.  An
+:class:`Alphabet` is an ordered sequence of distinct one-character symbols;
+the order matters because the lexicographic order ``<=_lex`` (Section 4 of
+the paper) is defined relative to it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import AlphabetError
+
+
+class Alphabet:
+    """A finite ordered alphabet of single-character symbols.
+
+    Parameters
+    ----------
+    symbols:
+        Iterable of distinct one-character strings; iteration order fixes
+        the symbol order used by lexicographic comparisons.
+
+    Examples
+    --------
+    >>> sigma = Alphabet("01")
+    >>> sigma.contains_string("0110")
+    True
+    >>> list(sigma.strings_of_length(2))
+    ['00', '01', '10', '11']
+    """
+
+    __slots__ = ("_symbols", "_index")
+
+    def __init__(self, symbols: Iterable[str]):
+        syms = tuple(symbols)
+        if not syms:
+            raise AlphabetError("an alphabet must contain at least one symbol")
+        for s in syms:
+            if not isinstance(s, str) or len(s) != 1:
+                raise AlphabetError(f"alphabet symbols must be single characters, got {s!r}")
+        if len(set(syms)) != len(syms):
+            raise AlphabetError(f"alphabet symbols must be distinct, got {syms!r}")
+        self._symbols = syms
+        self._index = {s: i for i, s in enumerate(syms)}
+
+    @property
+    def symbols(self) -> tuple[str, ...]:
+        """The symbols in order."""
+        return self._symbols
+
+    def index(self, symbol: str) -> int:
+        """0-based rank of ``symbol`` in the alphabet order."""
+        try:
+            return self._index[symbol]
+        except KeyError:
+            raise AlphabetError(f"symbol {symbol!r} not in alphabet {self}") from None
+
+    def __contains__(self, symbol: object) -> bool:
+        return symbol in self._index
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._symbols)
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Alphabet):
+            return NotImplemented
+        return self._symbols == other._symbols
+
+    def __hash__(self) -> int:
+        return hash(self._symbols)
+
+    def __repr__(self) -> str:
+        return f"Alphabet({''.join(self._symbols)!r})"
+
+    def contains_string(self, word: str) -> bool:
+        """True iff every character of ``word`` belongs to this alphabet."""
+        return all(c in self._index for c in word)
+
+    def check_string(self, word: str) -> str:
+        """Return ``word`` unchanged, raising :class:`AlphabetError` if invalid."""
+        if not isinstance(word, str):
+            raise AlphabetError(f"expected a string over {self}, got {word!r}")
+        if not self.contains_string(word):
+            raise AlphabetError(f"string {word!r} is not over alphabet {self}")
+        return word
+
+    def strings_of_length(self, n: int) -> Iterator[str]:
+        """Yield all strings of length exactly ``n``, in lexicographic order."""
+        if n < 0:
+            return
+        if n == 0:
+            yield ""
+            return
+        for prefix in self.strings_of_length(n - 1):
+            for s in self._symbols:
+                yield prefix + s
+
+    def strings_up_to(self, n: int) -> Iterator[str]:
+        """Yield all strings of length at most ``n``, shortest first.
+
+        This enumerates the set written ``Sigma^{<=n}`` in the paper; it has
+        ``(|Sigma|^{n+1} - 1) / (|Sigma| - 1)`` elements, so callers should
+        keep ``n`` small (this growth is exactly the paper's point about the
+        cost of the ``down`` operator of RA(S_len)).
+        """
+        for length in range(n + 1):
+            yield from self.strings_of_length(length)
+
+    def count_up_to(self, n: int) -> int:
+        """Number of strings of length at most ``n`` (size of ``Sigma^{<=n}``)."""
+        k = len(self._symbols)
+        if k == 1:
+            return n + 1
+        return (k ** (n + 1) - 1) // (k - 1)
+
+
+#: The binary alphabet ``{0, 1}`` used throughout the paper's examples.
+BINARY = Alphabet("01")
+
+#: A small letter alphabet convenient for examples.
+ABC = Alphabet("abc")

@@ -1,0 +1,162 @@
+"""The paper's Section 2 string operations, as plain functions.
+
+Every operation here is total on ``Sigma*`` exactly as the paper defines it;
+in particular ``subtract`` (the paper's ``x - y``) and ``trim_first`` (the
+paper's ``TRIM_a``) return the empty string rather than failing when their
+side condition does not hold.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.strings.alphabet import Alphabet
+
+
+def is_prefix(x: str, y: str) -> bool:
+    """The paper's ``x <<= y``: ``x`` is a (not necessarily strict) prefix of ``y``."""
+    return y.startswith(x)
+
+
+def is_strict_prefix(x: str, y: str) -> bool:
+    """The paper's ``x << y``: ``x`` is a strict prefix of ``y``."""
+    return len(x) < len(y) and y.startswith(x)
+
+
+def extends_by_one(x: str, y: str) -> bool:
+    """The paper's ``x < y``: ``y`` extends ``x`` by exactly one symbol."""
+    return len(y) == len(x) + 1 and y.startswith(x)
+
+
+def add_last(x: str, a: str) -> str:
+    """``l_a(x) = x . a``: append ``a`` as the last symbol."""
+    return x + a
+
+
+def add_first(x: str, a: str) -> str:
+    """``f_a(x) = a . x``: prepend ``a`` as the first symbol."""
+    return a + x
+
+
+def last_symbol_is(x: str, a: str) -> bool:
+    """The unary predicate ``L_a``: the last symbol of ``x`` is ``a``.
+
+    False on the empty string (which has no last symbol).
+    """
+    return x.endswith(a) and len(x) > 0
+
+
+def subtract(x: str, y: str) -> str:
+    """The paper's ``x - y``: the relative suffix of ``y`` in ``x``.
+
+    If ``x = y . z`` then ``x - y = z``; otherwise ``x - y`` is the empty
+    string.
+    """
+    if x.startswith(y):
+        return x[len(y):]
+    return ""
+
+
+def trim_first(s: str, a: str) -> str:
+    """The paper's ``TRIM_a(s)`` (Section 7): remove a single leading ``a``.
+
+    Produces ``s'`` if ``s = a . s'`` and the empty string if the first
+    symbol of ``s`` is not ``a`` (in particular on the empty string).
+    """
+    if s.startswith(a) and len(s) > 0:
+        return s[1:]
+    return ""
+
+
+def trim_trailing(s: str, a: str) -> str:
+    """SQL's ``TRIM TRAILING a FROM s``: drop all trailing occurrences of ``a``.
+
+    The paper notes (Section 4) that this operation is covered by the
+    structure S.
+    """
+    return s.rstrip(a)
+
+
+def lcp(x: str, y: str) -> str:
+    """``x ^ y``: the longest common prefix of ``x`` and ``y``."""
+    n = min(len(x), len(y))
+    i = 0
+    while i < n and x[i] == y[i]:
+        i += 1
+    return x[:i]
+
+
+def lcp_with_set(x: str, strings: Iterable[str]) -> str:
+    """``x ^ C``: the longest string among ``x ^ c`` for ``c`` in ``C``.
+
+    Well defined because every ``x ^ c`` is a prefix of ``x`` (Section 2);
+    returns the empty string when ``C`` is empty.
+    """
+    best = ""
+    for c in strings:
+        common = lcp(x, c)
+        if len(common) > len(best):
+            best = common
+    return best
+
+
+def equal_length(x: str, y: str) -> bool:
+    """The predicate ``el(x, y)``: ``|x| = |y|``."""
+    return len(x) == len(y)
+
+
+def lex_key(x: str, alphabet: Alphabet) -> tuple[int, ...]:
+    """Sort key realizing the lexicographic order ``<=_lex`` of Section 4.
+
+    The order is the standard "dictionary" order induced by the alphabet's
+    symbol order, with a prefix preceding its extensions (this is exactly the
+    first-order definition the paper gives over ``<<=`` and ``l_a``).
+    """
+    return tuple(alphabet.index(c) for c in x)
+
+
+def lex_le(x: str, y: str, alphabet: Alphabet) -> bool:
+    """``x <=_lex y`` relative to ``alphabet``'s symbol order."""
+    return lex_key(x, alphabet) <= lex_key(y, alphabet)
+
+
+def lex_lt(x: str, y: str, alphabet: Alphabet) -> bool:
+    """``x <_lex y`` relative to ``alphabet``'s symbol order."""
+    return lex_key(x, alphabet) < lex_key(y, alphabet)
+
+
+def prefixes(x: str) -> Iterator[str]:
+    """All prefixes of ``x``, shortest first (including ``\"\"`` and ``x``)."""
+    for i in range(len(x) + 1):
+        yield x[:i]
+
+
+def prefix_closure(strings: Iterable[str]) -> frozenset[str]:
+    """``prefix(C)``: the prefix-closure of a set of strings."""
+    closed: set[str] = set()
+    for s in strings:
+        for p in prefixes(s):
+            closed.add(p)
+    return frozenset(closed)
+
+
+def down_closure(strings: Iterable[str], alphabet: Alphabet) -> frozenset[str]:
+    """The paper's ``down(C)``: all strings no longer than some member of ``C``.
+
+    Exponential in the longest member of ``C``; this is the semantics of the
+    RA(S_len) operator the paper calls "very expensive ... unavoidable"
+    (Section 6.2).
+    """
+    max_len = max((len(s) for s in strings), default=-1)
+    if max_len < 0:
+        return frozenset()
+    return frozenset(alphabet.strings_up_to(max_len))
+
+
+def d_distance(s: str, strings: Iterable[str]) -> int:
+    """The paper's ``d(s, C) = |s| - |s ^ C|`` (Section 6.1).
+
+    Measures how far ``s`` sticks out beyond the set ``C``; the safety
+    lemmas bound this quantity for outputs of safe queries.
+    """
+    return len(s) - len(lcp_with_set(s, strings))

@@ -1,0 +1,23 @@
+"""The paper's string structures S, S_len, S_left, S_reg."""
+
+from repro.structures.base import StringStructure
+from repro.structures.catalog import (
+    FACTORIES,
+    S,
+    S_insert,
+    S_left,
+    S_len,
+    S_reg,
+    by_name,
+)
+
+__all__ = [
+    "FACTORIES",
+    "S",
+    "S_insert",
+    "S_left",
+    "S_len",
+    "S_reg",
+    "StringStructure",
+    "by_name",
+]

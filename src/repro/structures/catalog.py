@@ -1,0 +1,158 @@
+"""Factories for the paper's structures.
+
+========  ===============================================  ==============
+factory   signature                                        paper section
+========  ===============================================  ==============
+S         ``<<=``, ``L_a`` (+ definable: lex order,        Section 4
+          ``l_a``, ``^``, constants, star-free P_L)
+S_len     S + ``el`` (+ definable: ``f_a``, ``TRIM_a``,    Section 4
+          all regular P_L / SIMILAR patterns)
+S_left    S + ``f_a`` and ``TRIM_a``                       Section 7
+S_reg     S + ``P_L`` for every regular ``L``              Section 7
+========  ===============================================  ==============
+
+Derived operations the paper proves definable are admitted directly in the
+corresponding signature (e.g. lexicographic order in S, ``f_a`` in S_len):
+this keeps queries readable without changing expressive power.
+"""
+
+from __future__ import annotations
+
+from repro.logic.formulas import QuantKind
+from repro.logic.terms import AddFirst, AddLast, InsertAt, Lcp, TrimFirst
+from repro.strings.alphabet import Alphabet
+from repro.structures.base import StringStructure, _LEFT_GRAPHS, _S_GRAPHS, _S_PREDS
+
+
+def S(alphabet: Alphabet) -> StringStructure:
+    """The base structure ``S = (Sigma*, <<=, (L_a))`` of Section 4.
+
+    Covers SQL ``LIKE``, lexicographic ordering, constant-length substring
+    tests and TRIM TRAILING; definable subsets of ``Sigma*`` are exactly
+    the star-free languages.
+    """
+    return StringStructure(
+        name="S",
+        alphabet=alphabet,
+        predicates=_S_PREDS | _S_GRAPHS | frozenset(["matches", "psuffix"]),
+        term_functions=frozenset([AddLast, Lcp]),
+        pattern_scope="star-free",
+        restricted_kind=QuantKind.PREFIX,
+        definable_language_class="star-free",
+    )
+
+
+def S_len(alphabet: Alphabet) -> StringStructure:
+    """``S_len = (Sigma*, <<=, (L_a), el)`` of Section 4.
+
+    Adds string-length comparison; covers SQL3 ``SIMILAR`` (grep) and
+    adding/trimming symbols on both sides.  Definable subsets of
+    ``Sigma*`` are exactly the regular languages; data complexity climbs
+    into the polynomial hierarchy (Theorem 2, Proposition 5).
+    """
+    return StringStructure(
+        name="S_len",
+        alphabet=alphabet,
+        predicates=(
+            _S_PREDS
+            | _S_GRAPHS
+            | _LEFT_GRAPHS
+            | frozenset(["el", "len_le", "len_lt", "matches", "psuffix"])
+        ),
+        term_functions=frozenset([AddLast, AddFirst, TrimFirst, Lcp]),
+        pattern_scope="regular",
+        restricted_kind=QuantKind.LENGTH,
+        definable_language_class="regular",
+    )
+
+
+def S_left(alphabet: Alphabet) -> StringStructure:
+    """``S_left = (Sigma*, <<=, (l_a), (f_a))`` of Section 7.
+
+    S plus add/trim of *leading* characters; keeps AC0 data complexity and
+    star-free definability of languages while being strictly more
+    expressive than S on higher-arity relations.
+    """
+    return StringStructure(
+        name="S_left",
+        alphabet=alphabet,
+        predicates=_S_PREDS | _S_GRAPHS | _LEFT_GRAPHS | frozenset(["matches", "psuffix"]),
+        term_functions=frozenset([AddLast, AddFirst, TrimFirst, Lcp]),
+        pattern_scope="star-free",
+        restricted_kind=QuantKind.PREFIX,
+        definable_language_class="star-free",
+    )
+
+
+def S_reg(alphabet: Alphabet) -> StringStructure:
+    """``S_reg = (Sigma*, <<=, (L_a), (P_L) for regular L)`` of Section 7.
+
+    S plus full regular-expression pattern matching; NC1 data complexity,
+    regular definability of languages, but no ``f_a`` and no length
+    comparison.
+    """
+    return StringStructure(
+        name="S_reg",
+        alphabet=alphabet,
+        predicates=_S_PREDS | _S_GRAPHS | frozenset(["matches", "psuffix"]),
+        term_functions=frozenset([AddLast, Lcp]),
+        pattern_scope="regular",
+        restricted_kind=QuantKind.PREFIX,
+        definable_language_class="regular",
+    )
+
+
+def S_insert(alphabet: Alphabet) -> StringStructure:
+    """EXTENSION (paper Section 8, future work): S plus positional insertion.
+
+    The conclusion of the paper proposes "an extension of RC(S) in the
+    spirit of RC(S_left) by allowing inserting characters at arbitrary
+    position in a string x, specified by a prefix of x".  This structure
+    realizes it: the term ``insert_a(x, p)`` (see
+    :class:`~repro.logic.terms.InsertAt`) inserts ``a`` right after the
+    prefix ``p`` of ``x``.  Its graph is synchronized-rational, so the
+    automata engine remains exact; ``insert_a(x, eps) = f_a(x)`` and
+    ``insert_a(x, x) = l_a(x)``, so S_insert extends S_left's vocabulary.
+
+    Not part of the paper's proven results: collapse/safety properties are
+    conjectured by analogy with S_left and validated empirically in the
+    tests, not proved.  Caveat: a single insertion can move a string far
+    from ``prefix(adom)`` in the ``d``-distance of Lemma 1, so the PREFIX
+    output domain of the *direct* engine does not enumerate insertion
+    outputs — use the exact automata engine for open S_insert queries
+    (this is precisely the sort of complication that made the paper's
+    Theorem 7 for S_left "considerably more work").
+    """
+    return StringStructure(
+        name="S_insert",
+        alphabet=alphabet,
+        predicates=(
+            _S_PREDS
+            | _S_GRAPHS
+            | _LEFT_GRAPHS
+            | frozenset(["graph_insert_at", "matches", "psuffix"])
+        ),
+        term_functions=frozenset([AddLast, AddFirst, TrimFirst, InsertAt, Lcp]),
+        pattern_scope="star-free",
+        restricted_kind=QuantKind.PREFIX,
+        definable_language_class="star-free",
+    )
+
+
+#: All four tame structures, in increasing-expressiveness reading order
+#: (plus the Section 8 extension).
+FACTORIES = {
+    "S": S,
+    "S_left": S_left,
+    "S_reg": S_reg,
+    "S_len": S_len,
+    "S_insert": S_insert,
+}
+
+
+def by_name(name: str, alphabet: Alphabet) -> StringStructure:
+    """Look up a structure factory by its paper name."""
+    try:
+        return FACTORIES[name](alphabet)
+    except KeyError:
+        raise ValueError(f"unknown structure {name!r}; choose from {sorted(FACTORIES)}") from None

@@ -1,0 +1,75 @@
+"""Deciding the first-order theories of the string structures.
+
+The paper leans on the decidability of ``Th(S_len)`` (its reference [10])
+for Theorem 5; since S, S_left, S_reg are reducts of S_len, their theories
+are decidable too.  This module is the public face of that fact: sentences
+over any tame structure, with arbitrary natural quantification and *no*
+database relations, are decided exactly by the automatic-structure engine.
+
+Examples
+--------
+>>> from repro.theory import decide
+>>> from repro.strings import BINARY
+>>> decide("forall x: exists y: ext1(x, y)", BINARY)          # successors exist
+True
+>>> decide("exists x: forall y: len_le(y, x)", BINARY, "S_len")  # no longest string
+False
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.database.instance import Database
+from repro.errors import EvaluationError
+from repro.eval.automata_engine import AutomataEngine
+from repro.logic.formulas import Formula
+from repro.logic.parser import parse_formula
+from repro.strings.alphabet import Alphabet, BINARY
+from repro.structures.base import StringStructure
+from repro.structures.catalog import by_name
+
+
+def decide(
+    sentence: Union[str, Formula],
+    alphabet: Alphabet = BINARY,
+    structure: Union[str, StringStructure] = "S_len",
+) -> bool:
+    """Truth value of a database-free sentence over the structure.
+
+    Raises :class:`EvaluationError` if the sentence mentions database
+    relations (theories speak about the structure alone) or has free
+    variables.
+    """
+    if isinstance(structure, str):
+        structure = by_name(structure, alphabet)
+    formula = parse_formula(sentence) if isinstance(sentence, str) else sentence
+    if formula.relation_names():
+        raise EvaluationError(
+            "theory sentences must not mention database relations"
+        )
+    if formula.free_variables():
+        raise EvaluationError(
+            f"not a sentence: free variables {sorted(formula.free_variables())}"
+        )
+    structure.check_formula(formula)
+    empty = Database(alphabet, {})
+    return AutomataEngine(structure, empty).decide(formula)
+
+
+def solutions(
+    formula: Union[str, Formula],
+    alphabet: Alphabet = BINARY,
+    structure: Union[str, StringStructure] = "S_len",
+):
+    """The definable relation of a database-free formula, as a
+    :class:`~repro.eval.result.QueryResult` (possibly infinite, always a
+    regular set — the automatic-structure guarantee)."""
+    if isinstance(structure, str):
+        structure = by_name(structure, alphabet)
+    parsed = parse_formula(formula) if isinstance(formula, str) else formula
+    if parsed.relation_names():
+        raise EvaluationError("definable relations must be database-free")
+    structure.check_formula(parsed)
+    empty = Database(alphabet, {})
+    return AutomataEngine(structure, empty).run(parsed)

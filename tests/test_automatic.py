@@ -1,0 +1,367 @@
+"""Tests for the automatic-structure engine (convolution automata).
+
+Every operation is checked against a brute-force oracle over the bounded
+universe ``Sigma^{<=N}``: relations are small explicit sets of tuples, and
+logic operations are set operations.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import compile_regex
+from repro.automatic import (
+    PAD,
+    RelationAutomaton,
+    columns,
+    convolve,
+    deconvolve,
+    presentations as pres,
+    valid_pad_dfa,
+)
+from repro.errors import ArityError
+from repro.strings import BINARY, Alphabet, lcp, lex_le, trim_first
+
+N = 4  # bounded-universe depth for oracles
+UNIVERSE = list(BINARY.strings_up_to(N))
+
+short = st.text(alphabet="01", max_size=3)
+pairs = st.tuples(short, short)
+
+
+class TestConvolution:
+    def test_convolve_basic(self):
+        w = convolve(("01", "1"))
+        assert w == (("0", "1"), ("1", PAD))
+
+    def test_convolve_empty_components(self):
+        assert convolve(("", "")) == ()
+        assert convolve(("", "1")) == ((PAD, "1"),)
+
+    def test_roundtrip(self):
+        for tup in [("01", "1"), ("", ""), ("0", "0110"), ("111", "000")]:
+            assert deconvolve(convolve(tup), 2) == tup
+
+    @given(pairs)
+    def test_roundtrip_property(self, tup):
+        assert deconvolve(convolve(tup), 2) == tup
+
+    def test_deconvolve_rejects_bad_padding(self):
+        with pytest.raises(ValueError):
+            deconvolve(((PAD, "1"), ("0", "1")), 2)
+        with pytest.raises(ValueError):
+            deconvolve(((PAD, PAD),), 2)
+
+    def test_columns_count(self):
+        # (|Sigma|+1)^k - 1 valid columns.
+        assert len(columns(BINARY, 1)) == 2
+        assert len(columns(BINARY, 2)) == 8
+        assert len(columns(BINARY, 3)) == 26
+
+    def test_valid_pad_dfa(self):
+        valid = valid_pad_dfa(BINARY, 2)
+        assert valid.accepts(convolve(("01", "1")))
+        assert not valid.accepts(((PAD, "1"), ("0", "1")))
+
+
+class TestFiniteRelations:
+    def test_from_tuples_membership(self):
+        r = RelationAutomaton.from_tuples(BINARY, 2, [("0", "01"), ("", "1")])
+        assert r.contains(("0", "01"))
+        assert r.contains(("", "1"))
+        assert not r.contains(("0", "1"))
+        assert r.count() == 2
+
+    def test_set_roundtrip(self):
+        tuples = {("0", "1"), ("01", ""), ("", ""), ("11", "11")}
+        r = RelationAutomaton.from_tuples(BINARY, 2, tuples)
+        assert r.set_of_tuples() == tuples
+
+    def test_arity_checked(self):
+        with pytest.raises(ArityError):
+            RelationAutomaton.from_tuples(BINARY, 2, [("0",)])
+
+    def test_empty_and_universe(self):
+        assert RelationAutomaton.empty(BINARY, 2).is_empty()
+        u = RelationAutomaton.universe(BINARY, 1)
+        assert not u.is_finite()
+        assert u.contains(("0101",))
+        assert u.contains(("",))
+
+    def test_bool_relations(self):
+        assert RelationAutomaton.true_relation(BINARY).as_bool()
+        assert not RelationAutomaton.false_relation(BINARY).as_bool()
+
+    @given(st.sets(pairs, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_from_tuples_is_exact(self, tuples):
+        r = RelationAutomaton.from_tuples(BINARY, 2, tuples)
+        assert r.set_of_tuples() == tuples
+
+
+class TestBooleanOps:
+    @given(st.sets(pairs, max_size=5), st.sets(pairs, max_size=5))
+    @settings(max_examples=25, deadline=None)
+    def test_set_semantics(self, s1, s2):
+        a = RelationAutomaton.from_tuples(BINARY, 2, s1)
+        b = RelationAutomaton.from_tuples(BINARY, 2, s2)
+        assert a.union(b).set_of_tuples() == s1 | s2
+        assert a.intersection(b).set_of_tuples() == s1 & s2
+        assert a.difference(b).set_of_tuples() == s1 - s2
+
+    def test_complement(self):
+        r = RelationAutomaton.from_tuples(BINARY, 1, [("0",), ("11",)])
+        c = r.complement()
+        assert not c.contains(("0",))
+        assert c.contains(("1",))
+        assert c.contains(("",))
+        assert not c.is_finite()
+
+    def test_double_complement_identity(self):
+        r = RelationAutomaton.from_tuples(BINARY, 2, [("0", "1"), ("", "01")])
+        assert r.complement().complement().equivalent(r)
+
+    def test_complement_stays_valid(self):
+        # The complement must not accept invalid padding words.
+        r = RelationAutomaton.empty(BINARY, 2)
+        c = r.complement()
+        assert not c.dfa.accepts(((PAD, "1"), ("0", "1")))
+        assert c.equivalent(RelationAutomaton.universe(BINARY, 2))
+
+    def test_equivalent(self):
+        a = RelationAutomaton.from_tuples(BINARY, 1, [("0",), ("1",)])
+        b = RelationAutomaton.from_tuples(BINARY, 1, [("1",), ("0",)])
+        assert a.equivalent(b)
+        assert not a.equivalent(RelationAutomaton.from_tuples(BINARY, 1, [("0",)]))
+
+
+class TestTrackSurgery:
+    def test_project_drops_track(self):
+        r = RelationAutomaton.from_tuples(
+            BINARY, 2, [("0", "00"), ("0", "01"), ("1", "11")]
+        )
+        p = r.project(1)  # exists y. R(x, y)
+        assert p.set_of_tuples() == {("0",), ("1",)}
+        p0 = r.project(0)  # exists x. R(x, y)
+        assert p0.set_of_tuples() == {("00",), ("01",), ("11",)}
+
+    def test_project_longer_removed_track(self):
+        # The removed track is longer than the kept one: pad saturation.
+        r = RelationAutomaton.from_tuples(BINARY, 2, [("0", "001101")])
+        assert r.project(1).set_of_tuples() == {("0",)}
+        r2 = RelationAutomaton.from_tuples(BINARY, 2, [("001101", "")])
+        assert r2.project(0).set_of_tuples() == {("",)}
+
+    def test_project_infinite(self):
+        # exists x. x <<= y  is all of Sigma* for y.
+        p = pres.prefix(BINARY).project(0)
+        assert p.equivalent(RelationAutomaton.universe(BINARY, 1))
+
+    @given(st.sets(pairs, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_project_oracle(self, s):
+        r = RelationAutomaton.from_tuples(BINARY, 2, s)
+        assert r.project(1).set_of_tuples() == {(x,) for (x, _y) in s}
+        assert r.project(0).set_of_tuples() == {(y,) for (_x, y) in s}
+
+    def test_cylindrify_semantics(self):
+        r = RelationAutomaton.from_tuples(BINARY, 1, [("01",)])
+        c = r.cylindrify(1)  # (x, fresh)
+        for y in UNIVERSE:
+            assert c.contains(("01", y))
+            assert not c.contains(("0", y))
+        c0 = r.cylindrify(0)  # (fresh, x)
+        for y in UNIVERSE:
+            assert c0.contains((y, "01"))
+
+    def test_cylindrify_then_project_is_identity(self):
+        r = RelationAutomaton.from_tuples(BINARY, 2, [("0", "1"), ("01", "")])
+        for pos in range(3):
+            assert r.cylindrify(pos).project(pos).equivalent(r)
+
+    def test_reorder(self):
+        r = RelationAutomaton.from_tuples(BINARY, 2, [("0", "11")])
+        swapped = r.reorder([1, 0])
+        assert swapped.set_of_tuples() == {("11", "0")}
+
+    def test_reorder_validates(self):
+        r = RelationAutomaton.from_tuples(BINARY, 2, [("0", "1")])
+        with pytest.raises(ArityError):
+            r.reorder([0, 0])
+
+    def test_duplicate_constrain(self):
+        r = RelationAutomaton.universe(BINARY, 2)
+        eq = r.duplicate_constrain(0, 1)
+        assert eq.contains(("01", "01"))
+        assert not eq.contains(("01", "0"))
+
+
+class TestPresentations:
+    def test_equality(self):
+        r = pres.equality(BINARY)
+        for x in UNIVERSE:
+            for y in UNIVERSE[:8]:
+                assert r.contains((x, y)) == (x == y)
+
+    def test_prefix(self):
+        r = pres.prefix(BINARY)
+        rs = pres.prefix(BINARY, strict=True)
+        for x in BINARY.strings_up_to(3):
+            for y in BINARY.strings_up_to(3):
+                assert r.contains((x, y)) == y.startswith(x)
+                assert rs.contains((x, y)) == (y.startswith(x) and x != y)
+
+    def test_extends_by_one(self):
+        r = pres.extends_by_one(BINARY)
+        assert r.contains(("0", "01"))
+        assert r.contains(("", "1"))
+        assert not r.contains(("0", "011"))
+        assert not r.contains(("1", "01"))
+
+    def test_equal_length(self):
+        r = pres.equal_length(BINARY)
+        for x in BINARY.strings_up_to(3):
+            for y in BINARY.strings_up_to(3):
+                assert r.contains((x, y)) == (len(x) == len(y))
+
+    def test_length_le(self):
+        r = pres.length_le(BINARY)
+        rs = pres.length_le(BINARY, strict=True)
+        for x in BINARY.strings_up_to(3):
+            for y in BINARY.strings_up_to(3):
+                assert r.contains((x, y)) == (len(x) <= len(y))
+                assert rs.contains((x, y)) == (len(x) < len(y))
+
+    def test_last_symbol(self):
+        r0 = pres.last_symbol(BINARY, "0")
+        r1 = pres.last_symbol(BINARY, "1")
+        for x in UNIVERSE:
+            assert r0.contains((x,)) == x.endswith("0")
+            assert r1.contains((x,)) == x.endswith("1")
+
+    def test_add_last_graph(self):
+        r = pres.add_last_graph(BINARY, "1")
+        for x in BINARY.strings_up_to(3):
+            for y in BINARY.strings_up_to(4):
+                assert r.contains((x, y)) == (y == x + "1")
+
+    def test_add_first_graph(self):
+        r = pres.add_first_graph(BINARY, "1")
+        for x in BINARY.strings_up_to(3):
+            for y in BINARY.strings_up_to(4):
+                assert r.contains((x, y)) == (y == "1" + x)
+
+    def test_trim_first_graph(self):
+        r = pres.trim_first_graph(BINARY, "0")
+        for x in BINARY.strings_up_to(3):
+            for y in BINARY.strings_up_to(3):
+                assert r.contains((x, y)) == (y == trim_first(x, "0"))
+
+    def test_pattern_suffix(self):
+        # P_L with L = 1*: x <<= y and y - x in 1*.
+        ldfa = compile_regex("1*", BINARY)
+        r = pres.pattern_suffix(BINARY, ldfa)
+        for x in BINARY.strings_up_to(3):
+            for y in BINARY.strings_up_to(3):
+                expected = y.startswith(x) and set(y[len(x):]) <= {"1"}
+                assert r.contains((x, y)) == expected
+
+    def test_member(self):
+        ldfa = compile_regex("(00)*", BINARY)
+        r = pres.member(BINARY, ldfa)
+        for x in UNIVERSE:
+            assert r.contains((x,)) == (set(x) <= {"0"} and len(x) % 2 == 0)
+
+    def test_member_matches_pattern_suffix_from_eps(self):
+        ldfa = compile_regex("0(0|1)*1", BINARY)
+        via_p = pres.pattern_suffix(BINARY, ldfa)
+        m = pres.member(BINARY, ldfa)
+        for x in UNIVERSE:
+            assert m.contains((x,)) == via_p.contains(("", x))
+
+    def test_lex_le(self):
+        r = pres.lex_le(BINARY)
+        rs = pres.lex_le(BINARY, strict=True)
+        for x in BINARY.strings_up_to(3):
+            for y in BINARY.strings_up_to(3):
+                assert r.contains((x, y)) == lex_le(x, y, BINARY)
+                assert rs.contains((x, y)) == (lex_le(x, y, BINARY) and x != y)
+
+    def test_constant(self):
+        r = pres.constant(BINARY, "010")
+        assert r.set_of_tuples() == {("010",)}
+        assert pres.constant(BINARY, "").set_of_tuples() == {("",)}
+
+    def test_lcp_graph(self):
+        r = pres.lcp_graph(BINARY)
+        for x in BINARY.strings_up_to(3):
+            for y in BINARY.strings_up_to(3):
+                for z in BINARY.strings_up_to(3):
+                    assert r.contains((x, y, z)) == (z == lcp(x, y)), (x, y, z)
+
+    def test_cached_presentations(self):
+        a = pres.cached(BINARY, "prefix", False)
+        b = pres.cached(BINARY, "prefix", False)
+        assert a is b
+        assert pres.cached(BINARY, "last_symbol", "0").contains(("10",))
+
+    def test_presentations_other_alphabet(self):
+        abc = Alphabet("abc")
+        r = pres.prefix(abc)
+        assert r.contains(("ab", "abc"))
+        assert not r.contains(("b", "abc"))
+
+
+class TestComposedQueries:
+    """Mini end-to-end sanity checks composing several operations."""
+
+    def test_strings_ending_in_10(self):
+        # exists y: y < x and L_1(y) and L_0(x) -- paper Section 2 example,
+        # expressed directly with relation operations.
+        ext = pres.extends_by_one(BINARY)  # (y, x)
+        l1_y = pres.last_symbol(BINARY, "1").cylindrify(1)  # (y, x)
+        l0_x = pres.last_symbol(BINARY, "0").cylindrify(0)  # (y, x)
+        r = ext.intersection(l1_y).intersection(l0_x).project(0)
+        for x in BINARY.strings_up_to(5):
+            assert r.contains((x,)) == x.endswith("10")
+
+    def test_el_definable_length_lt(self):
+        # |x| < |y| iff exists z: z << y and el(z, x). (Section 4 example)
+        z_sprefix_y = pres.prefix(BINARY, strict=True)  # (z, y)
+        el_zx = pres.equal_length(BINARY)  # (z, x)
+        # Build over track order (x, y, z).
+        a = z_sprefix_y.reorder([0, 1])  # (z, y)
+        a = a.cylindrify(0)  # (x, z, y)
+        a = a.reorder([0, 2, 1])  # (x, y, z)
+        b = el_zx.reorder([1, 0])  # (x, z)
+        b = b.cylindrify(1)  # (x, y, z)
+        r = a.intersection(b).project(2)
+        for x in BINARY.strings_up_to(3):
+            for y in BINARY.strings_up_to(3):
+                assert r.contains((x, y)) == (len(x) < len(y))
+
+
+class TestJoin:
+    def test_composition(self):
+        # R = {(x, x.0)}, S = {(y, y.1)}; R join S on (1, 0) composes them.
+        r = pres.add_last_graph(BINARY, "0")
+        s = pres.add_last_graph(BINARY, "1")
+        composed = r.join(s, [(1, 0)])
+        # Tracks: (x, x.0, x.0.1)
+        assert composed.contains(("", "0", "01"))
+        assert composed.contains(("1", "10", "101"))
+        assert not composed.contains(("1", "10", "100"))
+
+    def test_join_finite_relations(self):
+        r = RelationAutomaton.from_tuples(BINARY, 2, [("0", "a0"[1:]), ("1", "11")])
+        s = RelationAutomaton.from_tuples(BINARY, 2, [("0", "00"), ("11", "1")])
+        joined = r.join(s, [(1, 0)])
+        # r tuples: (0,0),(1,11); s: (0,00),(11,1)
+        # join on r.1 = s.0: (0,0)+(0,00) -> (0,0,00); (1,11)+(11,1) -> (1,11,1)
+        assert joined.set_of_tuples() == {("0", "0", "00"), ("1", "11", "1")}
+
+    def test_join_validates(self):
+        r = RelationAutomaton.from_tuples(BINARY, 2, [("0", "1")])
+        with pytest.raises(ArityError):
+            r.join(r, [(0, 0), (1, 0)])

@@ -1,0 +1,66 @@
+"""Unit tests for the collapse machinery (repro.eval.collapse) itself."""
+
+import pytest
+
+from repro.eval.collapse import MAX_DEFAULT_SLACK, CollapsedQuery, collapse, default_slack
+from repro.logic import QuantKind, parse_formula
+from repro.logic.formulas import Exists, Forall
+from repro.strings import BINARY
+from repro.structures import S, S_len
+
+
+class TestDefaultSlack:
+    def test_grows_with_quantifier_rank(self):
+        f0 = parse_formula("R(x)")
+        f1 = parse_formula("exists y: R(y)")
+        f2 = parse_formula("exists y: exists z: R(y) & R(z)")
+        assert default_slack(f0) == 2  # rank 0 treated as rank 1
+        assert default_slack(f1) == 2
+        assert default_slack(f2) == 4
+
+    def test_cap(self):
+        text = "R(x)"
+        for v in "abcdefgh":  # rank 8 -> 2^8 = 256, capped
+            text = f"exists {v}: ({text} | R({v}))"
+        f = parse_formula(text)
+        assert f.quantifier_rank() == 8
+        assert default_slack(f) == MAX_DEFAULT_SLACK
+
+
+class TestCollapse:
+    def test_retargets_natural_only(self):
+        f = parse_formula("exists x: R(x) & exists adom y: S(y)")
+        q = collapse(f, S(BINARY))
+        kinds = [
+            sub.kind for sub in q.formula.walk() if isinstance(sub, (Exists, Forall))
+        ]
+        assert kinds == [QuantKind.PREFIX, QuantKind.ADOM]
+        assert q.kind is QuantKind.PREFIX
+
+    def test_s_len_gets_length_kind(self):
+        f = parse_formula("exists x: el(x, x)")
+        q = collapse(f, S_len(BINARY))
+        assert q.kind is QuantKind.LENGTH
+        inner = next(s for s in q.formula.walk() if isinstance(s, Exists))
+        assert inner.kind is QuantKind.LENGTH
+
+    def test_explicit_slack_respected(self):
+        f = parse_formula("exists x: R(x)")
+        q = collapse(f, S(BINARY), slack=7)
+        assert q.slack == 7
+
+    def test_collapsed_query_is_frozen_record(self):
+        f = parse_formula("exists x: R(x)")
+        q = collapse(f, S(BINARY))
+        assert isinstance(q, CollapsedQuery)
+        with pytest.raises(Exception):
+            q.slack = 99  # type: ignore[misc]
+
+    def test_forall_also_collapsed(self):
+        f = parse_formula("forall x: R(x) -> last(x, '0')")
+        q = collapse(f, S(BINARY))
+        quantifier = next(
+            s for s in q.formula.walk() if isinstance(s, (Exists, Forall))
+        )
+        assert isinstance(quantifier, Forall)
+        assert quantifier.kind is QuantKind.PREFIX

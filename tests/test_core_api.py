@@ -1,0 +1,115 @@
+"""Tests for the public facade (repro.core / top-level package)."""
+
+import pytest
+
+from repro import (
+    BINARY,
+    Query,
+    SignatureError,
+    StringDatabase,
+    UnsafeQueryError,
+    definable_language,
+    language_is_star_free,
+    parse_query,
+)
+from repro.automata import equivalent, compile_regex
+from repro.errors import EvaluationError
+
+
+DB = StringDatabase("01", {"R": {"0110", "001", "11"}, "E": {("0", "01")}})
+
+
+class TestStringDatabase:
+    def test_construction_from_symbols(self):
+        assert DB.alphabet is not None
+        assert DB.adom == {"0110", "001", "11", "0", "01"}
+
+    def test_schema_and_width(self):
+        assert DB.schema.arity("E") == 2
+        assert DB.width() >= 2  # "0" << "01" << "011..." chains
+
+    def test_unary_shorthand(self):
+        db = StringDatabase("ab", {"R": {"a", "ab"}})
+        assert db.db.relation("R") == {("a",), ("ab",)}
+
+
+class TestQuery:
+    def test_paper_example_end_to_end(self):
+        q = Query("R(x) & last(x, '0') & exists y: ext1(y, x) & last(y, '1')")
+        table = q.run(DB)
+        assert table.rows() == [("0110",)]
+        assert ("0110",) in table
+        assert len(table) == 1
+
+    def test_decide(self):
+        assert Query("exists x: R(x) & last(x, '1')").decide(DB)
+        assert not Query("exists x: R(x) & x = eps").decide(DB)
+
+    def test_signature_enforced_at_construction(self):
+        with pytest.raises(SignatureError):
+            Query("el(x, y)", structure="S")
+        Query("el(x, y)", structure="S_len")
+
+    def test_direct_engine_agrees(self):
+        q = Query("R(x) & last(x, '1')")
+        assert q.run(DB, engine="direct").rows() == q.run(DB).rows()
+
+    def test_unsafe_query_raises_without_limit(self):
+        q = Query("last(x, '0')")
+        with pytest.raises(UnsafeQueryError):
+            q.run(DB)
+        sample = q.run(DB, limit=4)
+        assert len(sample) == 4
+
+    def test_safety_api(self):
+        assert Query("R(x)").is_safe_on(DB)
+        assert not Query("!R(x)").is_safe_on(DB)
+        report = Query("R(x)").safety_report(DB)
+        assert report.safe and report.output_size == 3
+
+    def test_range_restricted(self):
+        rr = Query("exists adom y: x <<= y").range_restricted(slack=0)
+        out = rr.evaluate(DB.db)
+        assert ("0",) in out and ("0110",) in out
+
+    def test_to_algebra(self):
+        q = Query("R(x) & last(x, '1')")
+        compiled = q.to_algebra(DB.schema)
+        assert compiled.evaluate(DB.db) == {("11",), ("001",)}
+
+    def test_unknown_engine(self):
+        with pytest.raises(EvaluationError):
+            Query("R(x)").run(DB, engine="quantum")
+
+    def test_free_variables(self):
+        assert Query("E(x, y) & last(x, '0')").free_variables == ("x", "y")
+
+    def test_parse_query_alias(self):
+        q = parse_query("R(x)", structure="S")
+        assert q.structure.name == "S"
+
+
+class TestDefinableLanguage:
+    def test_star_free_language_from_s(self):
+        q = Query("last(x, '0')", structure="S")
+        dfa = definable_language(q)
+        assert equivalent(dfa, compile_regex("(0|1)*0", BINARY))
+        assert language_is_star_free(q)
+
+    def test_regular_language_from_s_reg(self):
+        q = Query('matches(x, "(00)*")', structure="S_reg")
+        dfa = definable_language(q)
+        assert equivalent(dfa, compile_regex("(00)*", BINARY))
+        assert not language_is_star_free(q)
+
+    def test_s_len_definable_even_length(self):
+        # even length via el and a midpoint: exists y: el(y, y) ... simpler:
+        # exists y: prefix(y, x) & el-trick is complex; use matches instead.
+        q = Query('matches(x, "((0|1)(0|1))*")', structure="S_len")
+        assert not language_is_star_free(q)
+
+    def test_requires_unary_db_free(self):
+        with pytest.raises(EvaluationError):
+            definable_language(Query("R(x)"))
+        with pytest.raises(EvaluationError):
+            definable_language(Query("prefix(x, y)"))

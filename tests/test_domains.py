@@ -1,0 +1,83 @@
+"""Tests for the quantifier-domain machinery (repro.eval.domains).
+
+The PREFIX/LENGTH domains and their automata forms must agree — they are
+shared between the two engines, which is what makes the engines
+semantically interchangeable on restricted formulas.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.eval.domains import (
+    extension_set_relation,
+    length_bound_set_relation,
+    length_le_plus_relation,
+    length_domain,
+    near_prefix_relation,
+    prefix_domain,
+)
+from repro.strings import BINARY, lcp, prefix_closure
+
+short = st.text(alphabet="01", max_size=4)
+
+
+class TestPrefixDomain:
+    def test_slack_zero_is_prefix_closure(self):
+        base = ["011", "10"]
+        assert set(prefix_domain(BINARY, base, 0)) == set(prefix_closure(base))
+
+    def test_slack_extends(self):
+        got = set(prefix_domain(BINARY, ["0"], 1))
+        assert got == {"", "0", "1", "00", "01"}
+
+    def test_empty_base_still_has_epsilon(self):
+        assert set(prefix_domain(BINARY, [], 0)) == {""}
+        assert set(prefix_domain(BINARY, [], 1)) == {"", "0", "1"}
+
+    @given(base=st.sets(short, max_size=4), slack=st.integers(0, 2))
+    @settings(max_examples=30, deadline=None)
+    def test_no_duplicates(self, base, slack):
+        out = list(prefix_domain(BINARY, base, slack))
+        assert len(out) == len(set(out))
+
+    @given(base=st.sets(short, min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_extension_set_relation(self, base):
+        slack = 1
+        enumerated = set(prefix_domain(BINARY, base, slack))
+        relation = extension_set_relation(BINARY, sorted(base), slack)
+        for s in BINARY.strings_up_to(5):
+            assert relation.contains((s,)) == (s in enumerated), s
+
+
+class TestLengthDomain:
+    def test_enumeration(self):
+        assert set(length_domain(BINARY, ["01"], 0)) == set(BINARY.strings_up_to(2))
+        assert set(length_domain(BINARY, [], 1)) == {"", "0", "1"}
+
+    def test_matches_relation(self):
+        relation = length_bound_set_relation(BINARY, 3)
+        for s in BINARY.strings_up_to(5):
+            assert relation.contains((s,)) == (len(s) <= 3)
+
+
+class TestNearPrefix:
+    @given(x=short, y=short, slack=st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_semantics(self, x, y, slack):
+        relation = near_prefix_relation(BINARY, slack)
+        expected = len(x) - len(lcp(x, y)) <= slack
+        assert relation.contains((x, y)) == expected, (x, y, slack)
+
+    def test_slack_zero_is_prefix(self):
+        relation = near_prefix_relation(BINARY, 0)
+        for x in BINARY.strings_up_to(3):
+            for y in BINARY.strings_up_to(3):
+                assert relation.contains((x, y)) == y.startswith(x)
+
+
+class TestLengthLePlus:
+    @given(x=short, y=short, slack=st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_semantics(self, x, y, slack):
+        relation = length_le_plus_relation(BINARY, slack)
+        assert relation.contains((x, y)) == (len(x) <= len(y) + slack)

@@ -1,0 +1,238 @@
+"""Tests for the automata evaluation engine (exact natural semantics)."""
+
+import pytest
+
+from repro.database import Database
+from repro.errors import EvaluationError, SignatureError
+from repro.eval import AutomataEngine, evaluate
+from repro.logic import parse_formula
+from repro.logic.dsl import (
+    add_first,
+    add_last,
+    el,
+    eq,
+    exists,
+    exists_adom,
+    forall,
+    forall_adom,
+    last,
+    lit,
+    matches,
+    not_,
+    prefix,
+    psuffix,
+    rel,
+    sprefix,
+)
+from repro.strings import BINARY
+from repro.structures import S, S_left, S_len, S_reg
+
+
+def db(**relations):
+    return Database(BINARY, relations)
+
+
+class TestSentences:
+    def test_paper_section2_ends_with_10(self):
+        # exists x: R(x) & L_0(x) & exists y: y < x & L_1(y)
+        q = parse_formula(
+            "exists x: R(x) & last(x, '0') & exists y: ext1(y, x) & last(y, '1')"
+        )
+        engine = AutomataEngine(S(BINARY), db(R={"0110", "001"}))
+        assert engine.decide(q)
+        engine2 = AutomataEngine(S(BINARY), db(R={"011", "001"}))
+        assert not engine2.decide(engine2.structure.check_formula(q))
+
+    def test_natural_quantifier_exact(self):
+        # exists x: last(x, '0')  -- true in Sigma* regardless of the DB.
+        q = parse_formula("exists x: last(x, '0')")
+        assert AutomataEngine(S(BINARY), db(R=set())).decide(q)
+
+    def test_forall_natural(self):
+        # forall x: prefix(eps, x) -- universally true.
+        q = parse_formula("forall x: prefix(eps, x)")
+        assert AutomataEngine(S(BINARY), db(R=set())).decide(q)
+        # forall x: last(x, '0') -- false (epsilon, strings ending in 1).
+        q2 = parse_formula("forall x: last(x, '0')")
+        assert not AutomataEngine(S(BINARY), db(R=set())).decide(q2)
+
+    def test_adom_quantifier(self):
+        q = parse_formula("exists adom x: last(x, '1')")
+        assert AutomataEngine(S(BINARY), db(R={"01", "00"})).decide(q)
+        assert not AutomataEngine(S(BINARY), db(R={"00", "10"})).decide(q)
+
+    def test_adom_quantifier_empty_db(self):
+        q = parse_formula("exists adom x: prefix(eps, x)")
+        assert not AutomataEngine(S(BINARY), db(R=set())).decide(q)
+        q2 = parse_formula("forall adom x: false")
+        assert AutomataEngine(S(BINARY), db(R=set())).decide(q2)
+
+    def test_not_a_sentence(self):
+        with pytest.raises(EvaluationError):
+            AutomataEngine(S(BINARY), db(R={"0"})).decide(parse_formula("R(x)"))
+
+    def test_signature_enforced(self):
+        with pytest.raises(SignatureError):
+            AutomataEngine(S(BINARY), db(R={"0"})).decide(
+                parse_formula("exists x: el(x, x)")
+            )
+
+
+class TestOpenQueries:
+    def test_select_from_relation(self):
+        q = parse_formula("R(x) & last(x, '0')")
+        result = evaluate(q, S(BINARY), db(R={"00", "01", "10"}))
+        assert result.as_set() == {("00",), ("10",)}
+        assert result.variables == ("x",)
+
+    def test_join(self):
+        q = parse_formula("R(x) & E(x, y)")
+        result = evaluate(
+            q, S(BINARY), db(R={"0", "1"}, E={("0", "00"), ("1", "01"), ("11", "0")})
+        )
+        assert result.as_set() == {("0", "00"), ("1", "01")}
+        assert result.variables == ("x", "y")
+
+    def test_projection_via_exists(self):
+        q = parse_formula("exists y: E(x, y)")
+        result = evaluate(q, S(BINARY), db(E={("0", "00"), ("0", "01"), ("1", "11")}))
+        assert result.as_set() == {("0",), ("1",)}
+
+    def test_unsafe_query_detected(self):
+        # All strings with last symbol 0: infinite.
+        q = parse_formula("last(x, '0')")
+        result = evaluate(q, S(BINARY), db(R={"0"}))
+        assert not result.is_finite()
+        sample = set(result.tuples(limit=5))
+        assert all(s.endswith("0") for (s,) in sample)
+
+    def test_unsafe_raises_on_materialize(self):
+        from repro.errors import UnsafeQueryError
+
+        q = parse_formula("last(x, '0')")
+        result = evaluate(q, S(BINARY), db(R={"0"}))
+        with pytest.raises(UnsafeQueryError):
+            result.as_set()
+        with pytest.raises(UnsafeQueryError):
+            result.count()
+
+    def test_prefixes_of_adom(self):
+        # Safe query with output beyond adom: all prefixes of R-strings.
+        q = parse_formula("exists y: R(y) & x <<= y")
+        result = evaluate(q, S(BINARY), db(R={"011"}))
+        assert result.as_set() == {("",), ("0",), ("01",), ("011",)}
+
+    def test_repeated_variable_atom(self):
+        q = parse_formula("E(x, x)")
+        result = evaluate(q, S(BINARY), db(E={("0", "0"), ("0", "1"), ("11", "11")}))
+        assert result.as_set() == {("0",), ("11",)}
+
+    def test_constant_in_relation_atom(self):
+        q = parse_formula("E('0', y)")
+        result = evaluate(q, S(BINARY), db(E={("0", "00"), ("1", "01")}))
+        assert result.as_set() == {("00",)}
+
+    def test_negation_within_adom(self):
+        # Strings in R that are not in S.
+        q = parse_formula("R(x) & !S(x)")
+        result = evaluate(q, S(BINARY), db(R={"0", "1", "01"}, S={"1"}))
+        assert result.as_set() == {("0",), ("01",)}
+
+
+class TestTermsAndFunctions:
+    def test_add_last_term(self):
+        # y = x . '1' for x in R.
+        q = eq(add_last("x", "1"), "y") & rel("R", "x")
+        result = evaluate(q, S(BINARY), db(R={"0", "11"}))
+        assert result.as_set() == {("0", "01"), ("11", "111")}
+
+    def test_add_first_term_needs_s_left(self):
+        q = eq(add_first("x", "1"), "y") & rel("R", "x")
+        with pytest.raises(SignatureError):
+            evaluate(q, S(BINARY), db(R={"0"}))
+        result = evaluate(q, S_left(BINARY), db(R={"0", "01"}))
+        assert result.as_set() == {("0", "10"), ("01", "101")}
+
+    def test_select_a_dot_x_from_r(self):
+        # The paper's motivating query SELECT a.x FROM R (Section 1):
+        # inexpressible in RC(S), a one-liner in RC(S_left).
+        q = exists("x", rel("R", "x") & eq(add_first("x", "1"), "y"))
+        result = evaluate(q, S_left(BINARY), db(R={"0", "00"}))
+        assert result.as_set() == {("10",), ("100",)}
+
+    def test_nested_terms(self):
+        q = eq(add_last(add_last("x", "0"), "1"), "y") & rel("R", "x")
+        result = evaluate(q, S(BINARY), db(R={"1"}))
+        assert result.as_set() == {("1", "101")}
+
+    def test_trim_first_term(self):
+        q = eq(lit("01"), "x") & eq(add_last("x", "1"), "x2") | rel("R", "x")
+        # Simpler: y = trim_first(x, '0') over R.
+        from repro.logic.dsl import trim_first
+
+        q = rel("R", "x") & eq(trim_first("x", "0"), "y")
+        result = evaluate(q, S_left(BINARY), db(R={"01", "11", ""}))
+        assert result.as_set() == {("01", "1"), ("11", ""), ("", "")}
+
+
+class TestPatterns:
+    def test_matches_star_free_in_s(self):
+        q = rel("R", "x") & matches("x", "0(0|1)*1")
+        result = evaluate(q, S(BINARY), db(R={"01", "001", "10", "0"}))
+        assert result.as_set() == {("01",), ("001",)}
+
+    def test_matches_regular_in_s_reg(self):
+        q = rel("R", "x") & matches("x", "(00)*")
+        result = evaluate(q, S_reg(BINARY), db(R={"", "00", "000", "0000", "01"}))
+        assert result.as_set() == {("",), ("00",), ("0000",)}
+
+    def test_psuffix(self):
+        # pairs (x, y) in E with y = x followed by 1s only.
+        q = rel("E", "x", "y") & psuffix("x", "y", "1*")
+        result = evaluate(
+            q, S_reg(BINARY), db(E={("0", "011"), ("0", "010"), ("1", "1")})
+        )
+        assert result.as_set() == {("0", "011"), ("1", "1")}
+
+
+class TestSLen:
+    def test_el_query(self):
+        # Pairs from R x R of equal length.
+        q = rel("R", "x") & rel("R", "y") & el("x", "y") & not_(eq("x", "y"))
+        result = evaluate(q, S_len(BINARY), db(R={"00", "01", "1"}))
+        assert result.as_set() == {("00", "01"), ("01", "00")}
+
+    def test_length_restricted_quantifier(self):
+        # exists len y: el(y, x) & last(y, '1'): some equal-length string
+        # ending in 1 exists (true whenever |x| >= 1).
+        q = parse_formula("R(x) & exists len y: el(y, x) & last(y, '1')")
+        result = evaluate(q, S_len(BINARY), db(R={"", "0", "00"}))
+        assert result.as_set() == {("0",), ("00",)}
+
+    def test_el_infinite_output(self):
+        q = parse_formula("el(x, x)")  # all strings
+        result = evaluate(q, S_len(BINARY), db(R={"0"}))
+        assert not result.is_finite()
+
+
+class TestPrefixRestrictedSemantics:
+    def test_prefix_kind_bounds_witnesses(self):
+        # exists prefix y: y <<= x ... witnesses come from prefixes of
+        # adom and of x; with slack 0 domain = prefix closure.
+        q = parse_formula("exists prefix y: R(y) & y << x")
+        result = evaluate(q, S(BINARY), db(R={"0"}))
+        # x ranges over everything extending "0": infinite, but engine
+        # still computes the relation exactly.
+        assert not result.is_finite()
+        assert result.contains(("01",))
+        assert not result.contains(("1",))
+
+    def test_prefix_kind_with_slack(self):
+        # With slack 1 the PREFIX domain includes one-symbol extensions.
+        q = parse_formula("exists prefix y: last(y, '1') & x <<= y & !eq(x, y)")
+        engine0 = AutomataEngine(S(BINARY), db(R={"00"}), slack=0)
+        engine1 = AutomataEngine(S(BINARY), db(R={"00"}), slack=1)
+        # With slack 0, y must be a prefix of adom or x..., "001" not
+        # available as witness for x = "00".
+        assert not engine0.run(q).contains(("00",))
+        assert engine1.run(q).contains(("00",))

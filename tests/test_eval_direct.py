@@ -1,0 +1,184 @@
+"""Tests for the direct engine + cross-engine agreement + collapse.
+
+The agreement tests are the operational reproduction of the collapse
+theorems (Theorem 1, Proposition 4, Theorem 6): a natural-quantifier
+formula evaluated exactly (automata engine) must agree with its collapsed
+form evaluated by enumeration (direct engine).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.database import Database, random_database
+from repro.errors import EvaluationError
+from repro.eval import AutomataEngine, DirectEngine, collapse
+from repro.logic import parse_formula
+from repro.logic.dsl import (
+    el,
+    eq,
+    exists,
+    exists_adom,
+    exists_len,
+    exists_prefix,
+    forall_adom,
+    last,
+    matches,
+    not_,
+    prefix,
+    rel,
+    sprefix,
+)
+from repro.strings import BINARY
+from repro.structures import S, S_left, S_len, S_reg
+
+
+def db(**relations):
+    return Database(BINARY, relations)
+
+
+class TestDirectBasics:
+    def test_holds_ground(self):
+        engine = DirectEngine(S(BINARY), db(R={"01"}))
+        assert engine.holds(parse_formula("R(x)"), {"x": "01"})
+        assert not engine.holds(parse_formula("R(x)"), {"x": "0"})
+
+    def test_unbound_variable_raises(self):
+        engine = DirectEngine(S(BINARY), db(R={"01"}))
+        with pytest.raises(EvaluationError):
+            engine.holds(parse_formula("R(x)"))
+
+    def test_natural_quantifier_rejected(self):
+        engine = DirectEngine(S(BINARY), db(R={"01"}))
+        with pytest.raises(EvaluationError):
+            engine.decide(parse_formula("exists x: R(x)"))
+
+    def test_adom_quantifiers(self):
+        engine = DirectEngine(S(BINARY), db(R={"01", "10"}))
+        assert engine.decide(parse_formula("exists adom x: last(x, '1')"))
+        assert engine.decide(parse_formula("forall adom x: !eq(x, eps)"))
+        assert not engine.decide(parse_formula("forall adom x: last(x, '0')"))
+
+    def test_prefix_quantifier(self):
+        engine = DirectEngine(S(BINARY), db(R={"011"}))
+        # Some prefix of an R-string ends in 1.
+        assert engine.decide(
+            parse_formula("exists prefix x: last(x, '1') & exists adom y: x <<= y")
+        )
+
+    def test_run_open_query(self):
+        engine = DirectEngine(S(BINARY), db(R={"00", "01", "10"}))
+        result = engine.run(parse_formula("R(x) & last(x, '0')"))
+        assert result.as_set() == {("00",), ("10",)}
+
+    def test_run_prefix_outputs(self):
+        engine = DirectEngine(S(BINARY), db(R={"011"}))
+        result = engine.run(parse_formula("exists adom y: x <<= y"))
+        assert result.as_set() == {("",), ("0",), ("01",), ("011",)}
+
+    def test_length_domain_exponential(self):
+        # The LENGTH domain enumerates Sigma^{<= max+slack}.
+        engine = DirectEngine(S_len(BINARY), db(R={"000"}))
+        assert engine.decide(
+            parse_formula("exists len x: el(x, x) & last(x, '1')")
+        )
+
+
+CORPUS = [
+    # (structure factory, formula text) -- natural quantifiers throughout.
+    (S, "exists x: R(x) & last(x, '0')"),
+    (S, "exists x: R(x) & exists y: y << x & last(y, '1')"),
+    (S, "forall x: R(x) -> exists y: y <<= x & S(y)"),
+    (S, "exists x: R(x) & !exists y: S(y) & y <<= x"),
+    (S, "exists x, y: R(x) & R(y) & x != y & lex_lt(x, y)"),
+    (S, "exists x: R(x) & matches(x, '0(0|1)*')"),
+    (S_left, "exists x: R(x) & exists y: eq(add_first(x, '1'), y) & !R(y)"),
+    (S_reg, "exists x: R(x) & matches(x, '(00)*')"),
+    (S_reg, "forall x: R(x) -> psuffix(eps, x, '(0|1)(0|1)*')"),
+    (S_len, "exists x: R(x) & exists y: S(y) & el(x, y)"),
+    (S_len, "forall x: R(x) -> exists y: el(y, x) & last(y, '1')"),
+]
+
+
+class TestCollapseAgreement:
+    """Natural semantics (automata) == collapsed semantics (direct)."""
+
+    @pytest.mark.parametrize("factory,text", CORPUS)
+    def test_sentence_corpus(self, factory, text):
+        structure = factory(BINARY)
+        formula = parse_formula(text)
+        for seed in (0, 1, 2):
+            database = random_database(
+                BINARY, {"R": 1, "S": 1}, tuples_per_relation=4, max_len=4, seed=seed
+            )
+            natural = AutomataEngine(structure, database).decide(formula)
+            q = collapse(formula, structure)
+            direct = DirectEngine(structure, database, slack=q.slack).decide(q.formula)
+            automata_collapsed = AutomataEngine(
+                structure, database, slack=q.slack
+            ).decide(q.formula)
+            assert direct == natural, (text, seed)
+            assert automata_collapsed == natural, (text, seed)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "R(x) & last(x, '1')",
+            "exists y: R(y) & x <<= y",
+            "exists y: R(y) & ext1(y, x)",
+            "R(x) & !S(x)",
+        ],
+    )
+    def test_open_query_corpus(self, text):
+        structure = S(BINARY)
+        formula = parse_formula(text)
+        database = random_database(
+            BINARY, {"R": 1, "S": 1}, tuples_per_relation=5, max_len=4, seed=7
+        )
+        natural = AutomataEngine(structure, database).run(formula)
+        q = collapse(formula, structure)
+        direct = DirectEngine(structure, database, slack=q.slack).run(q.formula)
+        assert natural.is_finite()
+        assert direct.as_set() == natural.as_set(), text
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        strings=st.sets(st.text(alphabet="01", max_size=4), min_size=1, max_size=5),
+        seed=st.integers(min_value=0, max_value=10),
+    )
+    def test_property_random_dbs(self, strings, seed):
+        """A fixed tricky sentence agrees across engines on random DBs."""
+        structure = S(BINARY)
+        formula = parse_formula(
+            "forall x: R(x) -> exists y: y <<= x & last(y, '1') "
+            "| forall z: z <<= x -> !last(z, '1')"
+        )
+        database = db(R=strings)
+        natural = AutomataEngine(structure, database).decide(formula)
+        q = collapse(formula, structure)
+        direct = DirectEngine(structure, database, slack=q.slack).decide(q.formula)
+        assert direct == natural
+
+
+class TestEngineEquivalenceRestricted:
+    """On already-restricted formulas the two engines agree by construction."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "exists adom x: last(x, '0')",
+            "exists prefix x: last(x, '1') & exists adom y: x <<= y",
+            "forall adom x: exists prefix y: y <<= x & eq(y, eps)",
+            "exists len x: el(x, x) & last(x, '0') & exists adom y: len_le(x, y)",
+        ],
+    )
+    def test_restricted_corpus(self, text):
+        formula = parse_formula(text)
+        structure = S_len(BINARY)
+        for seed in (0, 3):
+            database = random_database(
+                BINARY, {"R": 1}, tuples_per_relation=4, max_len=3, seed=seed
+            )
+            for slack in (0, 1):
+                a = AutomataEngine(structure, database, slack=slack).decide(formula)
+                d = DirectEngine(structure, database, slack=slack).decide(formula)
+                assert a == d, (text, seed, slack)

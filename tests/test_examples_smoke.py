@@ -1,0 +1,45 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public deliverable; this keeps them from rotting.
+The 3-colorability example is exercised with its smallest case elsewhere
+(tests/test_mso.py) and skipped here for suite speed.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart",
+    "faculty_directory",
+    "safety_analysis",
+    "string_transformations",
+    "problematic_concatenation",
+    "section8_extension",
+]
+
+
+def _load_module(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec and spec.loader
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, capsys):
+    module = _load_module(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_examples_directory_complete():
+    scripts = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts >= set(FAST_EXAMPLES) | {"three_colorability"}

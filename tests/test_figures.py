@@ -1,0 +1,88 @@
+"""Unit-suite guards for the headline figures (compact bench mirrors).
+
+The full reconstructions live in ``benchmarks/bench_fig1_inclusions.py``
+and ``benchmarks/bench_fig2_summary.py``; these tests pin the same facts
+inside the plain test suite so `pytest tests/` alone certifies the
+reproduction's headlines.
+"""
+
+import pytest
+
+from repro import Query, SignatureError, StringDatabase, UndecidableError
+from repro.concat import decide_state_safety
+from repro.database import Database
+from repro.logic import parse_formula
+from repro.logic.dsl import prefix, rel
+from repro.logic.terms import Var
+from repro.safety import ConjunctiveQuery, cq_is_safe, is_safe_on
+from repro.strings import BINARY
+from repro.structures import FACTORIES, by_name
+
+
+class TestFigure1:
+    """The expressiveness diagram's edges and separations."""
+
+    SEPARATORS = {
+        # witness -> {calculus: expressible?}
+        "matches(x, '(00)*')": {"S": False, "S_left": False, "S_reg": True, "S_len": True},
+        "eq(add_first(x, '1'), y)": {"S": False, "S_left": True, "S_reg": False, "S_len": True},
+        "el(x, y)": {"S": False, "S_left": False, "S_reg": False, "S_len": True},
+        "matches(x, '0(0|1)*')": {"S": True, "S_left": True, "S_reg": True, "S_len": True},
+    }
+
+    @pytest.mark.parametrize("witness", sorted(SEPARATORS))
+    def test_separator(self, witness):
+        for calculus, expected in self.SEPARATORS[witness].items():
+            try:
+                Query(witness, structure=calculus)
+                got = True
+            except SignatureError:
+                got = False
+            assert got == expected, (witness, calculus)
+
+    def test_incomparability_of_intermediates(self):
+        # S_left has f_a but not (00)*; S_reg the reverse.
+        Query("eq(add_first(x, '1'), y)", structure="S_left")
+        with pytest.raises(SignatureError):
+            Query("matches(x, '(00)*')", structure="S_left")
+        Query("matches(x, '(00)*')", structure="S_reg")
+        with pytest.raises(SignatureError):
+            Query("eq(add_first(x, '1'), y)", structure="S_reg")
+
+
+class TestFigure2:
+    """One spot-check per column of the summary table, per calculus."""
+
+    DB = StringDatabase("01", {"R": {"01", "110"}})
+
+    @pytest.mark.parametrize("name", ["S", "S_left", "S_reg", "S_len"])
+    def test_state_safety_column(self, name):
+        structure = by_name(name, BINARY)
+        assert is_safe_on(parse_formula("R(x)"), structure, self.DB.db)
+        assert not is_safe_on(parse_formula("!R(x)"), structure, self.DB.db)
+
+    @pytest.mark.parametrize("name", ["S", "S_left", "S_reg", "S_len"])
+    def test_cq_safety_column(self, name):
+        structure = by_name(name, BINARY)
+        safe = ConjunctiveQuery(
+            ("x",), (rel("R", "y"),), prefix(Var("x"), Var("y")), ("y",)
+        )
+        unsafe = ConjunctiveQuery(
+            ("x",), (rel("R", "y"),), prefix(Var("y"), Var("x")), ("y",)
+        )
+        assert cq_is_safe(safe, structure)
+        assert not cq_is_safe(unsafe, structure)
+
+    @pytest.mark.parametrize("name", ["S", "S_left", "S_reg", "S_len"])
+    def test_algebra_column(self, name):
+        structure = by_name(name, BINARY)
+        q = Query("R(x) & last(x, '0')", structure=structure)
+        compiled = q.to_algebra(self.DB.schema, slack=1)
+        assert compiled.evaluate(self.DB.db) == {("110",)}
+
+    def test_rc_concat_column(self):
+        with pytest.raises(UndecidableError):
+            decide_state_safety(parse_formula("x = x"), Database(BINARY, {}))
+
+    def test_all_four_structures_present(self):
+        assert set(FACTORIES) >= {"S", "S_left", "S_reg", "S_len"}

@@ -1,0 +1,72 @@
+"""Tests for serialization / DOT export (repro.io)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import compile_regex, dfa_from_finite_language
+from repro.automatic import presentations as pres
+from repro.database import Database, random_database
+from repro.io import (
+    database_from_json,
+    database_to_json,
+    dfa_to_dot,
+    relation_to_dot,
+    to_dot,
+)
+from repro.strings import BINARY
+
+
+class TestDatabaseJson:
+    def test_roundtrip(self):
+        db = Database(BINARY, {"R": {("0",), ("01",)}, "E": {("0", "01")}})
+        again = database_from_json(database_to_json(db))
+        assert again == db
+
+    def test_stable_output(self):
+        db = Database(BINARY, {"R": {("1",), ("0",)}})
+        assert database_to_json(db) == database_to_json(db)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        r=st.sets(st.text(alphabet="01", max_size=4), max_size=5),
+        e=st.sets(
+            st.tuples(
+                st.text(alphabet="01", max_size=3), st.text(alphabet="01", max_size=3)
+            ),
+            max_size=4,
+        ),
+    )
+    def test_roundtrip_property(self, r, e):
+        db = Database(BINARY, {"R": {(x,) for x in r}, "E": e})
+        assert database_from_json(database_to_json(db)) == db
+
+    def test_default_alphabet(self):
+        db = database_from_json('{"relations": {"R": [["0"]]}}')
+        assert db.alphabet.symbols == ("0", "1")
+
+
+class TestDot:
+    def test_dfa_dot_structure(self):
+        dfa = compile_regex("01*", BINARY)
+        dot = dfa_to_dot(dfa, "m")
+        assert dot.startswith("digraph m {")
+        assert "doublecircle" in dot  # accepting state present
+        assert "->" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_relation_dot(self):
+        rel = pres.prefix(BINARY)
+        dot = relation_to_dot(rel)
+        assert "(#," in dot or "(0,0)" in dot  # convolution columns labeled
+
+    def test_polymorphic(self):
+        dfa = dfa_from_finite_language(BINARY, {"01"})
+        assert to_dot(dfa).startswith("digraph")
+        assert to_dot(pres.equality(BINARY)).startswith("digraph")
+
+    def test_long_labels_truncated(self):
+        rel = pres.lcp_graph(BINARY)  # arity-3 columns: many labels per edge
+        dot = relation_to_dot(rel)
+        for line in dot.splitlines():
+            if 'label="' in line and "->" in line:
+                label = line.split('label="')[1].rsplit('"', 1)[0]
+                assert len(label) <= 40

@@ -1,0 +1,109 @@
+"""The FO[<] fragment of MSO: compiled sentences are star-free.
+
+McNaughton-Papert: a language is FO[<]-definable iff star-free.  Our MSO
+compiler restricted to position quantifiers therefore must always produce
+aperiodic DFAs — a strong differential check of both the compiler and the
+Schuetzenberger test, and the logic-side twin of the paper's Section 4
+claim that S-definable languages are exactly the star-free ones.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import is_star_free
+from repro.mso import (
+    ExistsPos,
+    ExistsSet,
+    InSet,
+    Label,
+    Less,
+    MsoAnd,
+    MsoFormula,
+    MsoNot,
+    MsoOr,
+    Succ,
+    forall_pos,
+    mso_to_dfa,
+)
+from repro.strings import BINARY
+
+POS_VARS = ["x", "y"]
+
+
+def fo_atoms() -> st.SearchStrategy[MsoFormula]:
+    var = st.sampled_from(POS_VARS)
+    return (
+        st.builds(Label, var, st.sampled_from("01"))
+        | st.builds(Less, var, var)
+        | st.builds(Succ, var, var)
+    )
+
+
+def fo_formulas(depth: int) -> st.SearchStrategy[MsoFormula]:
+    base = fo_atoms()
+    if depth == 0:
+        return base
+    sub = fo_formulas(depth - 1)
+    return (
+        base
+        | st.builds(lambda a, b: MsoAnd((a, b)), sub, sub)
+        | st.builds(lambda a, b: MsoOr((a, b)), sub, sub)
+        | st.builds(MsoNot, sub)
+        | st.builds(ExistsPos, st.sampled_from(POS_VARS), sub)
+    )
+
+
+def close_positions(f: MsoFormula) -> MsoFormula:
+    for v in sorted(f.free_position_vars(), reverse=True):
+        f = ExistsPos(v, f)
+    return f
+
+
+class TestFoFragment:
+    @settings(max_examples=40, deadline=None)
+    @given(formula=fo_formulas(2).map(close_positions))
+    def test_fo_sentences_compile_to_star_free(self, formula):
+        dfa = mso_to_dfa(formula, BINARY)
+        assert is_star_free(dfa), str(formula)
+
+    def test_mso_proper_reaches_beyond_fo(self):
+        # With set quantification we leave the star-free world: the
+        # odd-length language from the main MSO tests is not aperiodic.
+        x, y, z = "x", "y", "z"
+        from repro.mso import implies
+
+        first_in = ExistsPos(x, InSet(x, "X") & MsoNot(ExistsPos(y, Less(y, x))))
+        closed = forall_pos(
+            x,
+            forall_pos(
+                y,
+                forall_pos(
+                    z,
+                    implies(InSet(x, "X") & Succ(x, y) & Succ(y, z), InSet(z, "X")),
+                ),
+            ),
+        )
+        only = forall_pos(
+            x,
+            implies(
+                InSet(x, "X"),
+                MsoNot(ExistsPos(y, Less(y, x)))
+                | ExistsPos(y, ExistsPos(z, InSet(y, "X") & Succ(y, z) & Succ(z, x))),
+            ),
+        )
+        last_in = ExistsPos(x, InSet(x, "X") & MsoNot(ExistsPos(y, Less(x, y))))
+        sentence = ExistsSet("X", first_in & closed & only & last_in)
+        dfa = mso_to_dfa(sentence, BINARY)
+        assert not is_star_free(dfa)
+
+    def test_specific_fo_sentences(self):
+        # "the word contains 01 as a factor"
+        contains_01 = close_positions(
+            ExistsPos(
+                "x",
+                ExistsPos("y", Label("x", "0") & Label("y", "1") & Succ("x", "y")),
+            )
+        )
+        dfa = mso_to_dfa(contains_01, BINARY)
+        assert is_star_free(dfa)
+        for s in BINARY.strings_up_to(5):
+            assert dfa.accepts(s) == ("01" in s)

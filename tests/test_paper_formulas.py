@@ -1,0 +1,151 @@
+"""The paper's own example formulas, verified executably.
+
+Section 2 and Section 4 of the paper exhibit concrete first-order
+definitions (the LIKE pattern formula, the lexicographic order, the
+definition of F_a over S_len, |x| < |y| over el).  These tests build each
+formula verbatim and check it against the built-in semantics through the
+exact engine — the strongest form of "we implemented the same structure
+the paper reasons about".
+"""
+
+import pytest
+
+from repro.database import Database
+from repro.eval import AutomataEngine
+from repro.logic import parse_formula
+from repro.logic.dsl import (
+    and_,
+    el,
+    eq,
+    exists,
+    forall,
+    implies,
+    last,
+    lex_le,
+    not_,
+    or_,
+    prefix,
+    sprefix,
+)
+from repro.logic.terms import Var
+from repro.strings import BINARY, lex_le as lex_le_concrete
+from repro.structures import S, S_len
+
+EMPTY = Database(BINARY, {})
+ENGINE_S = AutomataEngine(S(BINARY), EMPTY)
+ENGINE_LEN = AutomataEngine(S_len(BINARY), EMPTY)
+
+
+def language_of(engine, formula, var="x", up_to=5):
+    result = engine.run(formula)
+    return {s for s in BINARY.strings_up_to(up_to) if result.contains((s,))}
+
+
+class TestSection2Example:
+    def test_ends_with_10(self):
+        """The paper's first example: 'there is a string in R ending 10',
+        via the largest-proper-prefix construction (no z with y < z < x)."""
+        text = (
+            "exists x: R(x) & last(x, '0') & "
+            "exists y: y << x & last(y, '1') & !exists z: (y << z & z << x)"
+        )
+        q = parse_formula(text)
+        yes = AutomataEngine(S(BINARY), Database(BINARY, {"R": {"0110"}}))
+        no = AutomataEngine(S(BINARY), Database(BINARY, {"R": {"011", "100"}}))
+        assert yes.decide(q)
+        assert not no.decide(q)
+
+
+class TestSection4Like:
+    def test_like_pattern_via_prefix_chain(self):
+        """x LIKE '0_1%' unfolded the paper's way: prefixes u < v < w
+        pinned to positions with last-symbol tests."""
+        # First symbol 0, third symbol 1 (positions via chained ext1).
+        text = (
+            "exists u: exists v: exists w: "
+            "u <<= x & ext1(eps, u) & last(u, '0') & "
+            "ext1(u, v) & ext1(v, w) & w <<= x & last(w, '1')"
+        )
+        q = parse_formula(text)
+        expected = {
+            s
+            for s in BINARY.strings_up_to(5)
+            if len(s) >= 3 and s[0] == "0" and s[2] == "1"
+        }
+        assert language_of(ENGINE_S, q) == expected
+
+
+class TestSection4LexOrder:
+    def test_paper_lex_definition_matches_builtin(self):
+        """The paper's FO definition of <=_lex over <<= and l_a:
+
+        x <=_lex y  iff  x <<= y, or there is a common prefix z with
+        z.a_i <<= x and z.a_j <<= y for symbols a_i < a_j.
+        """
+        x, y, z = Var("x"), Var("y"), Var("z")
+        text = (
+            "x <<= y | exists z: (z <<= x & z <<= y & "
+            "exists u: (ext1(z, u) & u <<= x & last(u, '0')) & "
+            "exists v: (ext1(z, v) & v <<= y & last(v, '1')))"
+        )
+        paper_def = parse_formula(text)
+        builtin = lex_le("x", "y")
+        paper_rel = ENGINE_S.run(paper_def)
+        builtin_rel = ENGINE_S.run(builtin)
+        for a in BINARY.strings_up_to(3):
+            for b in BINARY.strings_up_to(3):
+                expected = lex_le_concrete(a, b, BINARY)
+                assert builtin_rel.contains((a, b)) == expected
+                assert paper_rel.contains((a, b)) == expected, (a, b)
+
+
+class TestSection4FaDefinability:
+    def test_f_a_defined_over_s_len(self):
+        """Section 4: the graph of f_a is definable over S_len.
+
+        y = f_1(x) iff |y| = |x| + 1, the first symbol of y is 1, and for
+        every proper prefix z of x, the symbol of x at |z|+1 equals the
+        symbol of y at |z|+2 (expressed with el and last over prefixes).
+        """
+        text = (
+            # |y| = |x| + 1:
+            "exists w: (w << y & el(w, x) & forall w2: (w2 << y -> len_le(w2, w))) & "
+            # first symbol of y is 1:
+            "exists f: (ext1(eps, f) & f <<= y & last(f, '1')) & "
+            # symbols shift by one: for every prefix u of x with |u| >= 1,
+            # the prefix v of y with |v| = |u| + 1 has the same last symbol.
+            "forall u: (u <<= x & !eq(u, eps)) -> "
+            "exists v: (v <<= y & exists u2: (ext1(u2, v) & el(u2, u)) & "
+            "((last(u, '0') & last(v, '0')) | (last(u, '1') & last(v, '1'))))"
+        )
+        paper_def = parse_formula(text)
+        S_len(BINARY).check_formula(paper_def)
+        paper_rel = ENGINE_LEN.run(paper_def)
+        for a in BINARY.strings_up_to(3):
+            for b in BINARY.strings_up_to(4):
+                expected = b == "1" + a
+                assert paper_rel.contains((a, b)) == expected, (a, b)
+
+
+class TestSection4LengthComparison:
+    def test_len_lt_via_el(self):
+        """|x| < |y| expressed as 'exists z: z << y and el(z, x)'."""
+        q = parse_formula("exists z: z << y & el(z, x)")
+        rel = ENGINE_LEN.run(q)
+        for a in BINARY.strings_up_to(3):
+            for b in BINARY.strings_up_to(3):
+                assert rel.contains((a, b)) == (len(a) < len(b)), (a, b)
+
+
+class TestSection6FinitenessInSLen:
+    def test_finiteness_sentence_shape(self):
+        """Section 6.1: finiteness of a unary U is definable in RC(S_len)
+        by 'exists y forall x (U(x) -> exists z <<= y with el(z, x))'.
+        Database relations are always finite here, so the sentence must
+        hold for every database interpretation of U."""
+        sentence = parse_formula(
+            "exists y: forall adom x: U(x) -> exists z: z <<= y & el(z, x)"
+        )
+        for strings in [set(), {"0"}, {"0", "0110", "111"}]:
+            db = Database(BINARY, {"U": {(s,) for s in strings}})
+            assert AutomataEngine(S_len(BINARY), db).decide(sentence), strings

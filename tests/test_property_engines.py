@@ -1,0 +1,128 @@
+"""Differential property tests: the two engines on random formulas.
+
+For restricted-quantifier formulas both engines implement the same
+semantics by definition, so any disagreement is a bug in one of them —
+most likely in the convolution automata (complement/projection/padding),
+which is exactly where DESIGN.md locates the correctness risk.  Hypothesis
+generates random formulas and random databases; the engines must agree.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.database import Database
+from repro.eval import AutomataEngine, DirectEngine
+from repro.logic.dsl import (
+    and_,
+    el,
+    eq,
+    exists_adom,
+    exists_len,
+    exists_prefix,
+    forall_adom,
+    last,
+    len_le,
+    lex_le,
+    not_,
+    or_,
+    prefix,
+    rel,
+    sprefix,
+)
+from repro.logic.formulas import Formula
+from repro.strings import BINARY
+from repro.structures import S_len
+
+VARS = ["u", "v", "w"]
+
+short_string = st.text(alphabet="01", max_size=3)
+
+
+def atoms(variables: list[str]) -> st.SearchStrategy[Formula]:
+    """Random atoms over the given variables (S_len signature)."""
+    var = st.sampled_from(variables)
+    unary = st.builds(
+        lambda t, a: last(t, a), var, st.sampled_from("01")
+    ) | st.builds(lambda t: rel("R", t), var) | st.builds(lambda t: rel("S", t), var)
+    binary_ctor = st.sampled_from([prefix, sprefix, eq, el, len_le, lex_le])
+    binary = st.builds(lambda c, t1, t2: c(t1, t2), binary_ctor, var, var)
+    return unary | binary
+
+
+def formulas(variables: list[str], depth: int) -> st.SearchStrategy[Formula]:
+    base = atoms(variables)
+    if depth == 0:
+        return base
+    sub = formulas(variables, depth - 1)
+    quantifier = st.builds(
+        lambda q, v, f: q(v, f),
+        st.sampled_from([exists_adom, forall_adom, exists_prefix, exists_len]),
+        st.sampled_from(VARS),
+        sub,
+    )
+    boolean = (
+        st.builds(lambda a, b: and_(a, b), sub, sub)
+        | st.builds(lambda a, b: or_(a, b), sub, sub)
+        | st.builds(not_, sub)
+    )
+    return base | quantifier | boolean
+
+
+def sentences() -> st.SearchStrategy[Formula]:
+    """Random sentences: close a depth-2 formula under adom quantifiers."""
+
+    def close(f: Formula) -> Formula:
+        for v in sorted(f.free_variables(), reverse=True):
+            f = exists_adom(v, f)
+        return f
+
+    return formulas(VARS, depth=2).map(close)
+
+
+databases = st.builds(
+    lambda r, s: Database(BINARY, {"R": {(x,) for x in r}, "S": {(x,) for x in s}}),
+    st.sets(short_string, min_size=1, max_size=3),
+    st.sets(short_string, max_size=3),
+)
+
+
+class TestEngineAgreement:
+    @settings(max_examples=60, deadline=None)
+    @given(sentence=sentences(), db=databases)
+    def test_sentences_agree(self, sentence, db):
+        structure = S_len(BINARY)
+        for slack in (0, 1):
+            auto = AutomataEngine(structure, db, slack=slack).decide(sentence)
+            direct = DirectEngine(structure, db, slack=slack).decide(sentence)
+            assert auto == direct, f"{sentence} on {db} (slack={slack})"
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        formula=formulas(["u"], depth=1),
+        db=databases,
+        value=short_string,
+    )
+    def test_ground_evaluation_agrees(self, formula, db, value):
+        structure = S_len(BINARY)
+        free = formula.free_variables()
+        assignment = {v: value for v in free}
+        direct = DirectEngine(structure, db, slack=0).holds(formula, assignment)
+        auto_result = AutomataEngine(structure, db, slack=0).run(formula)
+        variables = auto_result.variables
+        auto = (
+            auto_result.contains(tuple(assignment[v] for v in variables))
+            if variables
+            else auto_result.as_bool()
+        )
+        assert auto == direct, f"{formula} @ {assignment}"
+
+    @settings(max_examples=30, deadline=None)
+    @given(formula=formulas(["u"], depth=1), db=databases)
+    def test_open_query_outputs_agree(self, formula, db):
+        """Open queries with one free variable: anchored outputs agree."""
+        structure = S_len(BINARY)
+        guarded = and_(rel("R", "u"), formula)  # anchor the output
+        auto = AutomataEngine(structure, db, slack=0).run(guarded)
+        direct = DirectEngine(structure, db, slack=0).run(guarded)
+        assert auto.is_finite()
+        assert auto.as_set() == direct.as_set(), str(guarded)

@@ -1,0 +1,83 @@
+"""Property tests for the safety machinery on random queries.
+
+Random *anchored* formulas are safe on every database; Theorem 3's
+range-restricted version must agree with the exact output, and the
+state-safety decision must say "safe".  Random unanchored ones get the
+decision cross-checked against the exact engine's finiteness.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.database import Database
+from repro.eval import AutomataEngine
+from repro.logic.dsl import and_, exists_adom, last, not_, or_, prefix, rel, sprefix
+from repro.logic.formulas import Formula
+from repro.safety import analyze_state_safety, range_restrict
+from repro.strings import BINARY
+from repro.structures import S
+
+short = st.text(alphabet="01", max_size=3)
+
+databases = st.builds(
+    lambda r, s: Database(BINARY, {"R": {(x,) for x in r}, "S": {(x,) for x in s}}),
+    st.sets(short, min_size=1, max_size=4),
+    st.sets(short, max_size=3),
+)
+
+
+def guards() -> st.SearchStrategy[Formula]:
+    """Database-free conditions over x and an adom-bound y."""
+    x = "x"
+    y = "y"
+    base = (
+        st.builds(lambda a: last(x, a), st.sampled_from("01"))
+        | st.just(prefix(x, y))
+        | st.just(sprefix(x, y))
+        | st.just(prefix(y, x))
+    )
+    return base | st.builds(lambda a, b: or_(a, b), base, base) | st.builds(not_, base)
+
+
+def anchored_queries() -> st.SearchStrategy[Formula]:
+    """phi(x) = exists adom y: R(y) and x <<= y and <guard>: safe always."""
+    return guards().map(
+        lambda g: exists_adom("y", and_(rel("R", "y"), prefix(x_var(), "y"), g))
+    )
+
+
+def x_var():
+    return "x"
+
+
+class TestRangeRestrictionProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(formula=anchored_queries(), db=databases)
+    def test_safe_queries_agree_with_range_restriction(self, formula, db):
+        structure = S(BINARY)
+        exact = AutomataEngine(structure, db).run(formula)
+        assert exact.is_finite()  # prefixes of adom strings: finite
+        rr = range_restrict(formula, structure, slack=1)
+        assert rr.evaluate(db) == exact.as_set(), str(formula)
+
+    @settings(max_examples=40, deadline=None)
+    @given(guard=guards(), db=databases)
+    def test_state_safety_matches_exact_finiteness(self, guard, db):
+        structure = S(BINARY)
+        # Maybe-unsafe query: guard alone over x, with y bound to adom.
+        formula = exists_adom("y", and_(rel("R", "y"), guard))
+        report = analyze_state_safety(formula, structure, db)
+        assert report.safe == report.result.is_finite()
+        # Decision must match brute-force sampling evidence: if we can
+        # find > |bound| distinct outputs, it cannot be safe.
+        sample = set(report.result.tuples(limit=50))
+        if not report.safe:
+            assert len(sample) == 50 or len(sample) > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(formula=anchored_queries(), db=databases)
+    def test_range_restricted_is_subset_of_exact(self, formula, db):
+        structure = S(BINARY)
+        rr = range_restrict(formula, structure, slack=0)
+        exact = AutomataEngine(structure, db).run(formula)
+        for row in rr.evaluate(db):
+            assert exact.contains(row)

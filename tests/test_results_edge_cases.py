@@ -1,0 +1,101 @@
+"""Edge-case tests for QueryResult, Table, and output handling."""
+
+import pytest
+
+from repro import Query, StringDatabase, UnsafeQueryError
+from repro.core.query import Table
+from repro.database import Database
+from repro.eval import AutomataEngine
+from repro.logic import parse_formula
+from repro.strings import BINARY
+from repro.structures import S
+
+DB = StringDatabase("01", {"R": {"0", "01", "11"}})
+
+
+class TestQueryResult:
+    def test_boolean_result(self):
+        result = AutomataEngine(S(BINARY), DB.db).run(parse_formula("exists adom x: R(x)"))
+        assert result.variables == ()
+        assert result.as_bool() is True
+        assert result.is_finite()
+        assert result.count() == 1  # the empty tuple
+
+    def test_false_boolean_result(self):
+        result = AutomataEngine(S(BINARY), DB.db).run(
+            parse_formula("exists adom x: R(x) & x = '111'")
+        )
+        assert result.as_bool() is False
+        assert result.count() == 0
+
+    def test_empty_output(self):
+        result = AutomataEngine(S(BINARY), DB.db).run(
+            parse_formula("R(x) & x = '111'")
+        )
+        assert result.is_finite()
+        assert result.as_set() == frozenset()
+        assert list(result.tuples()) == []
+
+    def test_infinite_tuples_requires_limit(self):
+        result = AutomataEngine(S(BINARY), DB.db).run(parse_formula("!R(x)"))
+        with pytest.raises(UnsafeQueryError):
+            list(result.tuples())
+        sample = list(result.tuples(limit=7))
+        assert len(sample) == 7
+        assert len(set(sample)) == 7  # no duplicates in enumeration
+
+    def test_infinite_sample_is_shortest_first(self):
+        result = AutomataEngine(S(BINARY), DB.db).run(parse_formula("last(x, '1')"))
+        sample = [s for (s,) in result.tuples(limit=5)]
+        lengths = [len(s) for s in sample]
+        assert lengths == sorted(lengths)
+
+    def test_contains_on_infinite(self):
+        result = AutomataEngine(S(BINARY), DB.db).run(parse_formula("!R(x)"))
+        assert result.contains(("0000",))
+        assert not result.contains(("0",))
+
+    def test_repr(self):
+        finite = AutomataEngine(S(BINARY), DB.db).run(parse_formula("R(x)"))
+        assert "finite" in repr(finite)
+        infinite = AutomataEngine(S(BINARY), DB.db).run(parse_formula("!R(x)"))
+        assert "infinite" in repr(infinite)
+
+
+class TestTable:
+    def test_rows_sorted(self):
+        t = Table(("x",), frozenset({("1",), ("0",), ("01",)}))
+        assert t.rows() == [("0",), ("01",), ("1",)]
+
+    def test_len_contains_iter(self):
+        t = Table(("x",), frozenset({("0",), ("1",)}))
+        assert len(t) == 2
+        assert ("0",) in t
+        assert ["0", "1"] == [row[0] for row in t]
+        assert ("x",) == t.columns
+
+    def test_empty_table(self):
+        t = Table(("x", "y"), frozenset())
+        assert len(t) == 0
+        assert t.rows() == []
+
+
+class TestQueryEdgeCases:
+    def test_sentence_through_run(self):
+        q = Query("exists adom x: R(x)")
+        table = q.run(DB)
+        assert table.columns == ()
+        assert len(table) == 1  # true: one empty row
+
+    def test_query_on_empty_database(self):
+        db = StringDatabase("01", {"R": set()})
+        assert Query("R(x)").run(db).rows() == []
+        assert not Query("exists adom x: true").decide(db)
+
+    def test_limit_on_finite_result_is_harmless(self):
+        q = Query("R(x)")
+        assert len(q.run(DB, limit=100)) == 3
+
+    def test_constants_only_query(self):
+        q = Query("x = '010'")
+        assert q.run(DB).rows() == [("010",)]

@@ -1,0 +1,234 @@
+"""Tests for the safety analyses (paper Section 6 and its Section 7 heirs)."""
+
+import pytest
+
+from repro.database import Database, random_database
+from repro.logic import parse_formula
+from repro.logic.dsl import el, eq, last, len_le, prefix, rel, sprefix, true
+from repro.logic.formulas import TrueF
+from repro.logic.terms import Var
+from repro.safety import (
+    ConjunctiveQuery,
+    analyze_state_safety,
+    cq_is_safe,
+    enumerate_safe_queries,
+    finiteness_formula,
+    is_safe_on,
+    range_restrict,
+    union_is_safe,
+)
+from repro.eval.automata_engine import AutomataEngine
+from repro.strings import BINARY
+from repro.structures import S, S_left, S_len, S_reg
+
+
+def db(**relations):
+    return Database(BINARY, relations)
+
+
+S_BIN = S(BINARY)
+S_LEN = S_len(BINARY)
+
+
+class TestStateSafety:
+    """Proposition 7: state-safety decidable for RC(S) and RC(S_len)."""
+
+    def test_safe_queries(self):
+        d = db(R={"01", "0110"})
+        assert is_safe_on(parse_formula("R(x)"), S_BIN, d)
+        assert is_safe_on(parse_formula("exists y: R(y) & x <<= y"), S_BIN, d)
+        assert is_safe_on(parse_formula("R(x) & last(x, '1')"), S_BIN, d)
+
+    def test_unsafe_queries(self):
+        d = db(R={"01"})
+        assert not is_safe_on(parse_formula("last(x, '0')"), S_BIN, d)
+        assert not is_safe_on(parse_formula("!R(x)"), S_BIN, d)
+        assert not is_safe_on(
+            parse_formula("exists y: R(y) & y <<= x"), S_BIN, d
+        )
+
+    def test_safety_depends_on_database(self):
+        # exists y: R(y) & el(x, y): safe on every finite DB, but output
+        # grows with the longest string.
+        q = parse_formula("exists y: R(y) & el(x, y)")
+        report = analyze_state_safety(q, S_LEN, db(R={"00"}))
+        assert report.safe
+        assert report.output_size == 4  # strings of length 2
+        report2 = analyze_state_safety(q, S_LEN, db(R={"0000"}))
+        assert report2.output_size == 16
+
+    def test_report_gives_output(self):
+        q = parse_formula("R(x) & last(x, '0')")
+        report = analyze_state_safety(q, S_BIN, db(R={"10", "11"}))
+        assert report.safe
+        assert report.result.as_set() == {("10",)}
+
+    def test_unsafe_output_still_inspectable(self):
+        q = parse_formula("last(x, '0')")
+        report = analyze_state_safety(q, S_BIN, db(R={"1"}))
+        assert not report.safe
+        assert report.output_size is None
+        assert report.result.contains(("10",))
+
+
+class TestRangeRestriction:
+    """Theorems 3 and 7: (gamma, phi) coincides with safe phi."""
+
+    SAFE_QUERIES = [
+        (S, "R(x) & last(x, '1')"),
+        (S, "exists adom y: x <<= y"),
+        (S, "exists adom y: ext1(y, x)"),  # one-symbol extensions of adom
+        (S_reg, "R(x) & matches(x, '0(0|1)*')"),
+        (S_left, "exists adom y: R(y) & eq(add_first(y, '1'), x)"),
+        (S_len, "exists adom y: el(x, y)"),
+    ]
+
+    @pytest.mark.parametrize("factory,text", SAFE_QUERIES)
+    def test_restricted_equals_original_when_safe(self, factory, text):
+        structure = factory(BINARY)
+        formula = parse_formula(text)
+        rr = range_restrict(formula, structure)
+        for seed in (0, 1):
+            database = random_database(
+                BINARY, {"R": 1}, tuples_per_relation=3, max_len=3, seed=seed
+            )
+            assert rr.agrees_with_original_on(database), (text, seed)
+
+    def test_restricted_output_finite_even_for_unsafe(self):
+        rr = range_restrict(parse_formula("last(x, '0')"), S_BIN, slack=1)
+        out = rr.evaluate(db(R={"01"}))
+        assert out  # nonempty
+        assert all(s.endswith("0") for (s,) in out)
+
+    def test_restricted_semantics_definition(self):
+        # Q(D) = gamma(adom) intersect phi(D): check against direct filter.
+        formula = parse_formula("exists adom y: x <<= y")
+        rr = range_restrict(formula, S_BIN, slack=0)
+        d = db(R={"011"})
+        assert rr.evaluate(d) == {("",), ("0",), ("01",), ("011",)}
+
+
+class TestFinitenessFormula:
+    """Finiteness definable with parameters in S_len (Theorem 5 ingredient)."""
+
+    def test_finite_section(self):
+        # psi(z, y): z <<= y -- finitely many z per y.
+        psi = prefix(Var("z"), Var("y"))
+        fin = finiteness_formula(psi, ["z"])
+        engine = AutomataEngine(S_LEN, db(R=set()))
+        # For every y the set is finite: forall y: fin.
+        from repro.logic.formulas import Forall, QuantKind
+
+        assert engine.decide(Forall("y", fin, QuantKind.NATURAL), check_signature=False)
+
+    def test_infinite_section(self):
+        # psi(z, y): y <<= z -- infinitely many z per y.
+        psi = prefix(Var("y"), Var("z"))
+        fin = finiteness_formula(psi, ["z"])
+        from repro.logic.formulas import Exists, QuantKind
+
+        engine = AutomataEngine(S_LEN, db(R=set()))
+        assert not engine.decide(Exists("y", fin, QuantKind.NATURAL), check_signature=False)
+
+    def test_parameter_dependence(self):
+        # psi(z, y): z <<= y and last(z, '1'); finite for every y, and
+        # the fin formula must hold for y = '11' specifically.
+        psi = prefix(Var("z"), Var("y")) & last(Var("z"), "1")
+        fin = finiteness_formula(psi, ["z"])
+        engine = AutomataEngine(S_LEN, db(R=set()))
+        result = engine.run(fin, check_signature=False)
+        assert result.contains(("11",))
+
+
+class TestCQSafety:
+    """Corollary 6: safety of conjunctive queries is decidable."""
+
+    def test_anchored_head_safe(self):
+        # Q(x) :- R(x): safe.
+        cq = ConjunctiveQuery(("x",), (rel("R", "x"),), TrueF())
+        assert cq_is_safe(cq, S_BIN)
+
+    def test_prefix_of_anchored_safe(self):
+        # Q(x) :- R(y), x <<= y: safe (finitely many prefixes).
+        cq = ConjunctiveQuery(
+            ("x",), (rel("R", "y"),), prefix(Var("x"), Var("y")), ("y",)
+        )
+        assert cq_is_safe(cq, S_BIN)
+
+    def test_extension_of_anchored_unsafe(self):
+        # Q(x) :- R(y), y <<= x: unsafe.
+        cq = ConjunctiveQuery(
+            ("x",), (rel("R", "y"),), prefix(Var("y"), Var("x")), ("y",)
+        )
+        assert not cq_is_safe(cq, S_BIN)
+
+    def test_unconstrained_head_unsafe(self):
+        # Q(x, z) :- R(x): z free-floating.
+        cq = ConjunctiveQuery(("x", "z"), (rel("R", "x"),), TrueF())
+        assert not cq_is_safe(cq, S_BIN)
+
+    def test_el_bounded_safe(self):
+        # Q(x) :- R(y), el(x, y): safe in S_len.
+        cq = ConjunctiveQuery(("x",), (rel("R", "y"),), el(Var("x"), Var("y")), ("y",))
+        assert cq_is_safe(cq, S_LEN)
+
+    def test_len_le_bounded_safe(self):
+        cq = ConjunctiveQuery(
+            ("x",), (rel("R", "y"),), len_le(Var("x"), Var("y")), ("y",)
+        )
+        assert cq_is_safe(cq, S_LEN)
+
+    def test_last_only_unsafe(self):
+        # Q(x) :- R(y), last(x, '0'): unbounded.
+        cq = ConjunctiveQuery(("x",), (rel("R", "y"),), last(Var("x"), "0"), ("y",))
+        assert not cq_is_safe(cq, S_BIN)
+
+    def test_boolean_cq_no_head_safe(self):
+        cq = ConjunctiveQuery((), (rel("R", "x"),), TrueF())
+        assert cq_is_safe(cq, S_BIN)
+
+    def test_union_safety(self):
+        safe = ConjunctiveQuery(("x",), (rel("R", "x"),), TrueF())
+        unsafe = ConjunctiveQuery(("x",), (rel("R", "y"),), TrueF(), ("y",))
+        assert union_is_safe([safe, safe], S_BIN)
+        assert not union_is_safe([safe, unsafe], S_BIN)
+
+    def test_cq_evaluate(self):
+        cq = ConjunctiveQuery(
+            ("x",), (rel("R", "y"),), sprefix(Var("x"), Var("y")), ("y",)
+        )
+        result = cq.evaluate(S_BIN, db(R={"01"}))
+        assert result.as_set() == {("",), ("0",)}
+
+    def test_safe_cq_is_actually_safe_on_random_dbs(self):
+        cq = ConjunctiveQuery(
+            ("x",), (rel("R", "y"),), prefix(Var("x"), Var("y")), ("y",)
+        )
+        assert cq_is_safe(cq, S_BIN)
+        for seed in range(3):
+            d = random_database(BINARY, {"R": 1}, 3, max_len=4, seed=seed)
+            assert cq.evaluate(S_BIN, d).is_finite()
+
+
+class TestEffectiveSyntax:
+    """Corollary 5/9: an r.e. family of safe queries."""
+
+    def test_enumerated_queries_are_safe(self):
+        schema = db(R={"0"}, E={("0", "1")}).schema
+        queries = list(enumerate_safe_queries(S_BIN, schema, limit=12))
+        assert len(queries) == 12
+        d = db(R={"0", "01"}, E={("0", "01"), ("01", "1")})
+        for q in queries:
+            out = q.evaluate(d)  # finite by construction (no exception)
+            assert isinstance(out, frozenset)
+
+    def test_enumeration_covers_multiple_shapes(self):
+        schema = db(R={"0"}).schema
+        queries = list(enumerate_safe_queries(S_BIN, schema, limit=20, max_slack=1))
+        formulas = {str(q.formula) for q in queries}
+        assert len(formulas) >= 5  # several distinct formulas, not just slacks
+
+    def test_s_len_enumeration_includes_el(self):
+        schema = db(R={"0"}).schema
+        queries = list(enumerate_safe_queries(S_LEN, schema, limit=40))
+        assert any("el(" in str(q.formula) for q in queries)

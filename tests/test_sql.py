@@ -1,0 +1,210 @@
+"""Tests for the SQL front end: LIKE, SIMILAR TO, SELECT translation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import is_star_free
+from repro.database import Database
+from repro.errors import ParseError, SignatureError
+from repro.eval import AutomataEngine
+from repro.sql import (
+    compile_like,
+    compile_similar,
+    like_atom,
+    like_matches,
+    like_to_regex_text,
+    similar_atom,
+    similar_matches,
+    translate_select,
+)
+from repro.strings import ABC, Alphabet, BINARY
+from repro.structures import S, S_len, S_reg, by_name
+
+
+class TestLike:
+    @pytest.mark.parametrize(
+        "pattern,matching,failing",
+        [
+            ("0%", ["0", "01", "0110"], ["", "10"]),
+            ("%0", ["0", "10", "110"], ["", "01"]),
+            ("%01%", ["01", "001", "0101"], ["0", "10"]),
+            ("_1", ["01", "11"], ["1", "011"]),
+            ("", [""], ["0"]),
+            ("%", ["", "0", "0101"], []),
+            ("0_1", ["001", "011"], ["01", "0011"]),
+        ],
+    )
+    def test_like_matching(self, pattern, matching, failing):
+        for s in matching:
+            assert like_matches(s, pattern, BINARY), (pattern, s)
+        for s in failing:
+            assert not like_matches(s, pattern, BINARY), (pattern, s)
+
+    def test_escape(self):
+        sigma = Alphabet(["a", "%"])
+        assert like_matches("a%", "a\\%", sigma, escape="\\")
+        assert not like_matches("aa", "a\\%", sigma, escape="\\")
+        # Unescaped % is still a wildcard.
+        assert like_matches("aa", "a%", sigma)
+
+    def test_dangling_escape(self):
+        with pytest.raises(ParseError):
+            like_to_regex_text("a\\", escape="\\")
+
+    @given(st.text(alphabet="01_%", max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_every_like_language_is_star_free(self, pattern):
+        """The Section 4 claim behind LIKE in RC(S)."""
+        dfa = compile_like(pattern, BINARY)
+        assert is_star_free(dfa)
+
+    def test_like_atom_accepted_by_s(self):
+        atom = like_atom("x", "0%1")
+        S(BINARY).check_formula(atom)  # no SignatureError
+
+    def test_like_semantics_via_engine(self):
+        db = Database(BINARY, {"R": {"0", "01", "10", "011"}})
+        atom = like_atom("x", "0%")
+        from repro.logic.dsl import rel
+
+        result = AutomataEngine(S(BINARY), db).run(rel("R", "x") & atom)
+        assert result.as_set() == {("0",), ("01",), ("011",)}
+
+
+class TestSimilar:
+    def test_similar_regular_power(self):
+        # (00)* is expressible with SIMILAR but not LIKE.
+        assert similar_matches("0000", "(00)*", BINARY)
+        assert not similar_matches("000", "(00)*", BINARY)
+
+    def test_percent_and_underscore(self):
+        assert similar_matches("abc", "a%", ABC)
+        assert similar_matches("ab", "a_", ABC)
+        assert not similar_matches("a", "a_", ABC)
+
+    def test_class_keeps_wildcards_literalish(self):
+        # Inside [...] the SQL wildcards are not wildcards.
+        sigma = Alphabet(["a", "%"])
+        assert similar_matches("%", "[%]", sigma)
+        assert not similar_matches("a", "[%]", sigma)
+
+    def test_similar_atom_needs_s_reg(self):
+        atom = similar_atom("x", "(00)*")
+        with pytest.raises(SignatureError):
+            S(BINARY).check_formula(atom)
+        S_reg(BINARY).check_formula(atom)
+        S_len(BINARY).check_formula(atom)
+
+    def test_unterminated_class(self):
+        with pytest.raises(ParseError):
+            similar_matches("a", "[ab", ABC)
+
+    def test_compile_similar_agrees_with_matching(self):
+        dfa = compile_similar("0+1?", BINARY)
+        for s in BINARY.strings_up_to(4):
+            expected = similar_matches(s, "0+1?", BINARY)
+            assert dfa.accepts(s) == expected
+
+
+FACULTY_DB = Database(
+    BINARY,
+    {
+        "FACULTY": {("0110", "0"), ("0111", "1"), ("1010", "0")},
+        "DEPT": {("0", "00"), ("1", "01")},
+    },
+)
+
+
+class TestSelect:
+    def test_simple_like(self):
+        q = translate_select(
+            "SELECT f.1 FROM FACULTY f WHERE f.1 LIKE '01%'", FACULTY_DB.schema
+        )
+        assert q.structure_name == "S"
+        structure = by_name(q.structure_name, BINARY)
+        result = AutomataEngine(structure, FACULTY_DB).run(q.formula)
+        assert result.as_set() == {("0110",), ("0111",)}
+
+    def test_join(self):
+        q = translate_select(
+            "SELECT f.1, d.2 FROM FACULTY f, DEPT d WHERE f.2 = d.1",
+            FACULTY_DB.schema,
+        )
+        structure = by_name(q.structure_name, BINARY)
+        result = AutomataEngine(structure, FACULTY_DB).run(q.formula)
+        expected = {("0110", "00"), ("1010", "00"), ("0111", "01")}
+        # Engine returns sorted-variable order; map to requested output.
+        mapping = dict(zip(result.variables, range(len(result.variables))))
+        got = {
+            tuple(row[mapping[v]] for v in q.output_variables)
+            for row in result.as_set()
+        }
+        assert got == expected
+
+    def test_similar_upgrades_structure(self):
+        q = translate_select(
+            "SELECT f.1 FROM FACULTY f WHERE f.1 SIMILAR TO '(01)*10'",
+            FACULTY_DB.schema,
+        )
+        assert q.structure_name == "S_reg"
+
+    def test_length_upgrades_structure(self):
+        q = translate_select(
+            "SELECT f.1 FROM FACULTY f, DEPT d "
+            "WHERE LENGTH(f.1) = LENGTH(d.2) AND f.2 = d.1",
+            FACULTY_DB.schema,
+        )
+        assert q.structure_name == "S_len"
+
+    def test_lex_comparison(self):
+        q = translate_select(
+            "SELECT f.1 FROM FACULTY f WHERE f.1 < '0111'", FACULTY_DB.schema
+        )
+        structure = by_name(q.structure_name, BINARY)
+        result = AutomataEngine(structure, FACULTY_DB).run(q.formula)
+        assert result.as_set() == {("0110",)}
+
+    def test_not_like(self):
+        q = translate_select(
+            "SELECT f.1 FROM FACULTY f WHERE f.1 NOT LIKE '01%'", FACULTY_DB.schema
+        )
+        structure = by_name(q.structure_name, BINARY)
+        result = AutomataEngine(structure, FACULTY_DB).run(q.formula)
+        assert result.as_set() == {("1010",)}
+
+    def test_prefix_predicate(self):
+        q = translate_select(
+            "SELECT d.1 FROM DEPT d WHERE PREFIX(d.1, d.2)", FACULTY_DB.schema
+        )
+        structure = by_name(q.structure_name, BINARY)
+        result = AutomataEngine(structure, FACULTY_DB).run(q.formula)
+        assert result.as_set() == {("0",)}
+
+    def test_or_and_parens(self):
+        q = translate_select(
+            "SELECT f.1 FROM FACULTY f WHERE (f.1 LIKE '0%' AND f.2 = '0') "
+            "OR f.1 LIKE '1%'",
+            FACULTY_DB.schema,
+        )
+        structure = by_name(q.structure_name, BINARY)
+        result = AutomataEngine(structure, FACULTY_DB).run(q.formula)
+        assert result.as_set() == {("0110",), ("1010",)}
+
+    def test_errors(self):
+        for bad in [
+            "SELECT FROM FACULTY f",
+            "SELECT f.1 FROM NOSUCH f",
+            "SELECT f.1 FROM FACULTY f WHERE f.9 = '0'",
+            "SELECT f.1 FROM FACULTY f WHERE",
+            "SELECT f.1 FROM FACULTY f, FACULTY f",
+            "SELECT x.1 FROM FACULTY f",
+        ]:
+            with pytest.raises(ParseError):
+                translate_select(bad, FACULTY_DB.schema)
+
+    def test_quoted_literal_with_apostrophe(self):
+        db = Database(BINARY, {"R": {"0"}})
+        q = translate_select("SELECT r.1 FROM R r WHERE r.1 = '0'", db.schema)
+        structure = by_name(q.structure_name, BINARY)
+        result = AutomataEngine(structure, db).run(q.formula)
+        assert result.as_set() == {("0",)}

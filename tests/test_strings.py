@@ -1,0 +1,232 @@
+"""Unit and property tests for the string kernel (paper Section 2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AlphabetError
+from repro.strings import (
+    ABC,
+    Alphabet,
+    BINARY,
+    add_first,
+    add_last,
+    d_distance,
+    down_closure,
+    equal_length,
+    extends_by_one,
+    is_prefix,
+    is_strict_prefix,
+    last_symbol_is,
+    lcp,
+    lcp_with_set,
+    lex_le,
+    lex_lt,
+    prefix_closure,
+    prefixes,
+    subtract,
+    trim_first,
+    trim_trailing,
+)
+
+binary_strings = st.text(alphabet="01", max_size=8)
+
+
+class TestAlphabet:
+    def test_symbols_in_order(self):
+        assert BINARY.symbols == ("0", "1")
+        assert ABC.symbols == ("a", "b", "c")
+
+    def test_index(self):
+        assert BINARY.index("0") == 0
+        assert BINARY.index("1") == 1
+
+    def test_index_missing_raises(self):
+        with pytest.raises(AlphabetError):
+            BINARY.index("x")
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("")
+
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("aa")
+
+    def test_multichar_symbols_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet(["ab"])
+
+    def test_contains(self):
+        assert "0" in BINARY
+        assert "x" not in BINARY
+
+    def test_contains_string(self):
+        assert BINARY.contains_string("0101")
+        assert BINARY.contains_string("")
+        assert not BINARY.contains_string("012")
+
+    def test_check_string_raises(self):
+        with pytest.raises(AlphabetError):
+            BINARY.check_string("abc")
+        with pytest.raises(AlphabetError):
+            BINARY.check_string(42)  # type: ignore[arg-type]
+
+    def test_strings_of_length(self):
+        assert list(BINARY.strings_of_length(0)) == [""]
+        assert list(BINARY.strings_of_length(2)) == ["00", "01", "10", "11"]
+        assert list(BINARY.strings_of_length(-1)) == []
+
+    def test_strings_up_to(self):
+        got = list(BINARY.strings_up_to(2))
+        assert got == ["", "0", "1", "00", "01", "10", "11"]
+
+    def test_count_up_to_matches_enumeration(self):
+        for n in range(5):
+            assert BINARY.count_up_to(n) == len(list(BINARY.strings_up_to(n)))
+            assert ABC.count_up_to(n) == len(list(ABC.strings_up_to(n)))
+
+    def test_count_up_to_unary(self):
+        unary = Alphabet("a")
+        assert unary.count_up_to(4) == 5
+
+    def test_equality_and_hash(self):
+        assert Alphabet("01") == BINARY
+        assert hash(Alphabet("01")) == hash(BINARY)
+        assert Alphabet("10") != BINARY
+
+
+class TestPrefixOrder:
+    def test_is_prefix(self):
+        assert is_prefix("", "01")
+        assert is_prefix("01", "01")
+        assert is_prefix("0", "01")
+        assert not is_prefix("1", "01")
+
+    def test_strict_prefix(self):
+        assert is_strict_prefix("0", "01")
+        assert not is_strict_prefix("01", "01")
+
+    def test_extends_by_one(self):
+        assert extends_by_one("0", "01")
+        assert not extends_by_one("0", "011")
+        assert not extends_by_one("1", "01")
+        assert extends_by_one("", "0")
+
+    @given(binary_strings, binary_strings)
+    def test_prefix_antisymmetry(self, x, y):
+        if is_prefix(x, y) and is_prefix(y, x):
+            assert x == y
+
+    @given(binary_strings, binary_strings, binary_strings)
+    def test_prefix_transitivity(self, x, y, z):
+        if is_prefix(x, y) and is_prefix(y, z):
+            assert is_prefix(x, z)
+
+
+class TestFunctions:
+    def test_add_last_add_first(self):
+        assert add_last("01", "1") == "011"
+        assert add_first("01", "1") == "101"
+        assert add_last("", "0") == "0"
+        assert add_first("", "0") == "0"
+
+    def test_last_symbol(self):
+        assert last_symbol_is("10", "0")
+        assert not last_symbol_is("10", "1")
+        assert not last_symbol_is("", "0")
+
+    def test_subtract_paper_semantics(self):
+        # x - y = z when x = y.z, else epsilon.
+        assert subtract("0110", "01") == "10"
+        assert subtract("0110", "10") == ""
+        assert subtract("0110", "") == "0110"
+        assert subtract("", "0") == ""
+
+    def test_trim_first(self):
+        assert trim_first("011", "0") == "11"
+        assert trim_first("011", "1") == ""
+        assert trim_first("", "0") == ""
+
+    def test_trim_trailing(self):
+        assert trim_trailing("0110", "0") == "011"
+        assert trim_trailing("0100", "0") == "01"
+        assert trim_trailing("111", "1") == ""
+
+    @given(binary_strings, st.sampled_from("01"))
+    def test_trim_first_inverts_add_first(self, x, a):
+        assert trim_first(add_first(x, a), a) == x
+
+    @given(binary_strings, binary_strings)
+    def test_subtract_inverts_concat(self, y, z):
+        assert subtract(y + z, y) == z
+
+
+class TestLcp:
+    def test_lcp_basic(self):
+        assert lcp("0110", "010") == "01"
+        assert lcp("", "010") == ""
+        assert lcp("11", "00") == ""
+        assert lcp("01", "01") == "01"
+
+    @given(binary_strings, binary_strings)
+    def test_lcp_commutes(self, x, y):
+        assert lcp(x, y) == lcp(y, x)
+
+    @given(binary_strings, binary_strings)
+    def test_lcp_is_common_prefix(self, x, y):
+        p = lcp(x, y)
+        assert is_prefix(p, x) and is_prefix(p, y)
+
+    def test_lcp_with_set(self):
+        assert lcp_with_set("0110", ["00", "0111", "1"]) == "011"
+        assert lcp_with_set("0110", []) == ""
+
+    @given(binary_strings, st.lists(binary_strings, max_size=5))
+    def test_lcp_with_set_is_prefix_of_x(self, x, c):
+        assert is_prefix(lcp_with_set(x, c), x)
+
+
+class TestOrderingsAndClosures:
+    def test_equal_length(self):
+        assert equal_length("01", "10")
+        assert not equal_length("0", "10")
+
+    def test_lex_order_binary(self):
+        assert lex_lt("", "0", BINARY)
+        assert lex_lt("0", "00", BINARY)
+        assert lex_lt("01", "1", BINARY)
+        assert lex_le("01", "01", BINARY)
+        assert not lex_le("1", "01", BINARY)
+
+    @given(st.lists(binary_strings, min_size=1, max_size=8))
+    def test_lex_total_order(self, strings):
+        ordered = sorted(strings, key=lambda s: tuple(BINARY.index(c) for c in s))
+        for a, b in zip(ordered, ordered[1:]):
+            assert lex_le(a, b, BINARY)
+
+    def test_prefixes(self):
+        assert list(prefixes("011")) == ["", "0", "01", "011"]
+
+    def test_prefix_closure(self):
+        assert prefix_closure(["01"]) == {"", "0", "01"}
+        assert prefix_closure([]) == frozenset()
+
+    @given(st.lists(binary_strings, max_size=5))
+    def test_prefix_closure_is_closed(self, strings):
+        closed = prefix_closure(strings)
+        for s in closed:
+            for p in prefixes(s):
+                assert p in closed
+
+    def test_down_closure(self):
+        assert down_closure(["01"], BINARY) == {"", "0", "1", "00", "01", "10", "11"}
+        assert down_closure([], BINARY) == frozenset()
+
+    def test_down_closure_size(self):
+        assert len(down_closure(["0000"], BINARY)) == BINARY.count_up_to(4)
+
+    def test_d_distance(self):
+        # d(s, C) = |s| - |s ^ C|
+        assert d_distance("0110", ["01"]) == 2
+        assert d_distance("0110", ["0110"]) == 0
+        assert d_distance("0110", []) == 4

@@ -1,0 +1,320 @@
+"""Tests for structures (signatures, semantics, presentations) and databases."""
+
+import pytest
+
+from repro.errors import ArityError, SignatureError
+from repro.logic import parse_formula
+from repro.logic.dsl import (
+    add_first,
+    add_last,
+    el,
+    eq,
+    exists,
+    last,
+    lcp,
+    matches,
+    prefix,
+    psuffix,
+    rel,
+    trim_first,
+)
+from repro.database import (
+    Database,
+    Schema,
+    antichain_vertex,
+    complete_graph,
+    cycle_graph,
+    graph_database,
+    random_database,
+    unary_database,
+)
+from repro.strings import BINARY, Alphabet
+from repro.structures import S, S_left, S_len, S_reg, by_name
+
+
+class TestSignatures:
+    def test_s_allows_basics(self):
+        s = S(BINARY)
+        s.check_formula(parse_formula("x <<= y & last(x, '0') & x = eps"))
+        s.check_formula(eq(add_last("x", "0"), "y"))
+        s.check_formula(eq(lcp("x", "y"), "z"))
+
+    def test_s_rejects_el(self):
+        with pytest.raises(SignatureError):
+            S(BINARY).check_formula(el("x", "y"))
+
+    def test_s_rejects_add_first(self):
+        with pytest.raises(SignatureError):
+            S(BINARY).check_formula(eq(add_first("x", "0"), "y"))
+        with pytest.raises(SignatureError):
+            S(BINARY).check_formula(eq(trim_first("x", "0"), "y"))
+
+    def test_s_star_free_patterns_only(self):
+        s = S(BINARY)
+        # LIKE-style pattern: star-free, OK.
+        s.check_formula(matches("x", "0(0|1)*1"))
+        # (00)* is not star-free: rejected in S.
+        with pytest.raises(SignatureError):
+            s.check_formula(matches("x", "(00)*"))
+        with pytest.raises(SignatureError):
+            s.check_formula(psuffix("x", "y", "(00)*"))
+
+    def test_s_reg_accepts_regular_patterns(self):
+        S_reg(BINARY).check_formula(matches("x", "(00)*"))
+
+    def test_s_reg_rejects_left_ops_and_el(self):
+        sr = S_reg(BINARY)
+        with pytest.raises(SignatureError):
+            sr.check_formula(eq(add_first("x", "0"), "y"))
+        with pytest.raises(SignatureError):
+            sr.check_formula(el("x", "y"))
+
+    def test_s_left_accepts_left_ops_rejects_regular_patterns(self):
+        sl = S_left(BINARY)
+        sl.check_formula(eq(add_first("x", "0"), "y"))
+        sl.check_formula(eq(trim_first("x", "1"), "y"))
+        with pytest.raises(SignatureError):
+            sl.check_formula(matches("x", "(00)*"))
+        with pytest.raises(SignatureError):
+            sl.check_formula(el("x", "y"))
+
+    def test_s_len_accepts_everything(self):
+        sl = S_len(BINARY)
+        sl.check_formula(el("x", "y"))
+        sl.check_formula(matches("x", "(00)*"))
+        sl.check_formula(eq(add_first("x", "0"), "y"))
+
+    def test_by_name(self):
+        assert by_name("S", BINARY).name == "S"
+        assert by_name("S_len", BINARY).name == "S_len"
+        with pytest.raises(ValueError):
+            by_name("S_concat", BINARY)
+
+    def test_restricted_kinds(self):
+        from repro.logic import QuantKind
+
+        assert S(BINARY).restricted_kind is QuantKind.PREFIX
+        assert S_left(BINARY).restricted_kind is QuantKind.PREFIX
+        assert S_reg(BINARY).restricted_kind is QuantKind.PREFIX
+        assert S_len(BINARY).restricted_kind is QuantKind.LENGTH
+
+    def test_definable_language_classes(self):
+        assert S(BINARY).definable_language_class == "star-free"
+        assert S_left(BINARY).definable_language_class == "star-free"
+        assert S_reg(BINARY).definable_language_class == "regular"
+        assert S_len(BINARY).definable_language_class == "regular"
+
+
+class TestAtomSemantics:
+    def test_core_predicates(self):
+        s = S_len(BINARY)
+        a = {"x": "011", "y": "0110", "z": "101"}
+        assert s.eval_atom(prefix("x", "y"), a)
+        assert not s.eval_atom(prefix("y", "x"), a)
+        assert s.eval_atom(last("x", "1"), a)
+        assert s.eval_atom(el("x", "z"), a)
+
+    def test_matches_semantics(self):
+        s = S_reg(BINARY)
+        assert s.eval_atom(matches("x", "0(0|1)*"), {"x": "010"})
+        assert not s.eval_atom(matches("x", "0(0|1)*"), {"x": "110"})
+
+    def test_psuffix_semantics(self):
+        s = S_reg(BINARY)
+        assert s.eval_atom(psuffix("x", "y", "1*"), {"x": "0", "y": "011"})
+        assert not s.eval_atom(psuffix("x", "y", "1*"), {"x": "0", "y": "010"})
+        assert not s.eval_atom(psuffix("x", "y", "1*"), {"x": "1", "y": "011"})
+
+    def test_term_evaluation_in_atoms(self):
+        s = S_len(BINARY)
+        f = eq(add_first(add_last("x", "0"), "1"), "y")
+        assert s.eval_atom(f, {"x": "01", "y": "1010"})
+
+    def test_atom_relation_agrees_with_eval(self):
+        s = S_len(BINARY)
+        from repro.logic.dsl import len_le, lex_le
+
+        atoms = [
+            prefix("x", "y"),
+            el("x", "y"),
+            len_le("x", "y"),
+            lex_le("x", "y"),
+            psuffix("x", "y", "0*1"),
+        ]
+        for atom in atoms:
+            rel_auto = s.atom_relation(atom)
+            for x in BINARY.strings_up_to(3):
+                for y in BINARY.strings_up_to(3):
+                    assert rel_auto.contains((x, y)) == s.eval_atom(atom, {"x": x, "y": y})
+
+
+class TestSchema:
+    def test_basic(self):
+        sc = Schema({"R": 1, "E": 2})
+        assert sc.arity("E") == 2
+        assert "R" in sc and "X" not in sc
+        assert sc.relation_names == ("E", "R")
+
+    def test_unary_check(self):
+        assert Schema({"R": 1, "S": 1}).is_unary()
+        assert not Schema({"R": 1, "E": 2}).is_unary()
+
+    def test_validation(self):
+        with pytest.raises(ArityError):
+            Schema({"R": 0})
+        with pytest.raises(ValueError):
+            Schema({"1bad": 1})
+
+
+class TestDatabase:
+    def test_adom(self):
+        db = Database(BINARY, {"R": {("01",), ("10",)}, "E": {("01", "111")}})
+        assert db.adom == {"01", "10", "111"}
+        assert db.max_string_length == 3
+        assert db.size == 3
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(ArityError):
+            Database(BINARY, {"R": {("0",), ("0", "1")}})
+
+    def test_alphabet_checked(self):
+        with pytest.raises(Exception):
+            Database(BINARY, {"R": {("abc",)}})
+
+    def test_schema_inference_and_empty_relations(self):
+        db = Database(BINARY, {"R": set()}, schema=Schema({"R": 2}))
+        assert db.relation("R") == frozenset()
+        assert db.schema.arity("R") == 2
+
+    def test_string_shorthand(self):
+        db = Database(BINARY, {"R": {"01", "10"}})
+        assert db.relation("R") == {("01",), ("10",)}
+
+    def test_with_relation(self):
+        db = Database(BINARY, {"R": {("0",)}})
+        db2 = db.with_relation("S", [("1",)])
+        assert "S" in db2.schema
+        assert db.relation("R") == db2.relation("R")
+
+    def test_prefix_closure(self):
+        db = Database(BINARY, {"R": {("011",)}})
+        assert db.adom_prefix_closure() == {"", "0", "01", "011"}
+
+    def test_relation_automaton(self):
+        db = Database(BINARY, {"E": {("0", "1"), ("1", "")}})
+        auto = db.relation_automaton("E")
+        assert auto.set_of_tuples() == {("0", "1"), ("1", "")}
+
+
+class TestWidth:
+    def test_width_antichain(self):
+        db = Database(BINARY, {"R": {("10",), ("01",), ("110",)}})
+        assert db.width() == 1
+
+    def test_width_chain(self):
+        db = Database(BINARY, {"R": {("0",), ("01",), ("011",), ("10",)}})
+        assert db.width() == 3
+
+    def test_width_empty(self):
+        assert Database(BINARY, {"R": set()}).width() == 0
+
+    def test_width_epsilon_in_adom(self):
+        db = Database(BINARY, {"R": {("",), ("0",)}})
+        assert db.width() == 2
+
+    def test_width_one_encoding(self):
+        db = Database(BINARY, {"R": {("0",), ("01",), ("011",)}, "E": {("0", "01")}})
+        encoded, mapping = db.width_one_encoding()
+        assert encoded.width() == 1
+        assert len(mapping) == 3
+        # Isomorphic: relation sizes preserved (encoding injective).
+        assert encoded.size == db.size
+        assert len(encoded.adom) == len(db.adom)
+
+    def test_width_one_encoding_bigger_alphabet(self):
+        abc = Alphabet("abc")
+        db = Database(abc, {"R": {("a",), ("ab",), ("abc",), ("c",)}})
+        encoded, mapping = db.width_one_encoding()
+        assert encoded.width() == 1
+        assert len(set(mapping.values())) == len(mapping)
+
+
+class TestGenerators:
+    def test_random_database_deterministic(self):
+        a = random_database(BINARY, {"R": 1, "E": 2}, 5, seed=42)
+        b = random_database(BINARY, {"R": 1, "E": 2}, 5, seed=42)
+        assert a == b
+        assert len(a.relation("R")) == 5
+        assert len(a.relation("E")) == 5
+
+    def test_unary_database(self):
+        db = unary_database(BINARY, 10, seed=1)
+        assert db.schema.is_unary()
+        assert len(db.relation("R")) == 10
+
+    def test_antichain_vertices(self):
+        vs = [antichain_vertex(i, BINARY) for i in range(5)]
+        assert vs[0] == "0" and vs[2] == "110"
+        for i, v in enumerate(vs):
+            for j, w in enumerate(vs):
+                if i != j:
+                    assert not w.startswith(v)
+
+    def test_graph_database_width_one(self):
+        db = graph_database(5, cycle_graph(5), BINARY)
+        assert db.width() == 1
+        assert len(db.relation("V")) == 5
+        assert len(db.relation("E")) == 10
+
+    def test_complete_graph(self):
+        assert len(complete_graph(4)) == 12
+
+
+class TestWidthOneInvariance:
+    """The width-1 re-encoding is an SC-isomorphism (Section 5.2): pure
+    relational queries give isomorphic answers on the re-encoded database."""
+
+    def test_relational_query_preserved(self):
+        from repro.eval import AutomataEngine
+        from repro.logic import parse_formula
+        from repro.structures import S
+
+        db = Database(BINARY, {"R": {("0",), ("01",)}, "E": {("0", "01"), ("01", "0")}})
+        encoded, mapping = db.width_one_encoding()
+        q = parse_formula("R(x) & exists adom y: E(x, y) & R(y)")
+        original = AutomataEngine(S(BINARY), db).run(q).as_set()
+        translated = AutomataEngine(S(BINARY), encoded).run(q).as_set()
+        assert {(mapping[x],) for (x,) in original} == translated
+
+    def test_boolean_relational_query_preserved(self):
+        from repro.eval import AutomataEngine
+        from repro.logic import parse_formula
+        from repro.structures import S
+
+        db = Database(BINARY, {"R": {("0",), ("11",)}, "E": {("0", "11")}})
+        encoded, _mapping = db.width_one_encoding()
+        sentences = [
+            "exists adom x: exists adom y: E(x, y) & R(x) & R(y)",
+            "forall adom x: R(x) -> exists adom y: E(x, y) | E(y, x)",
+        ]
+        for text in sentences:
+            q = parse_formula(text)
+            a = AutomataEngine(S(BINARY), db).decide(q)
+            b = AutomataEngine(S(BINARY), encoded).decide(q)
+            assert a == b, text
+
+    def test_string_queries_not_preserved(self):
+        """The encoding is only an SC-isomorphism: string predicates like
+        `last` may disagree -- which is exactly why width matters (the
+        re-encoding changes the string-theoretic content, Prop 5 uses the
+        freedom deliberately)."""
+        from repro.eval import AutomataEngine
+        from repro.logic import parse_formula
+        from repro.structures import S
+
+        db = Database(BINARY, {"R": {("0",), ("1",)}})
+        encoded, _ = db.width_one_encoding()
+        q = parse_formula("exists adom x: R(x) & last(x, '0')")
+        # Original: "0" ends with 0 -> true. Encoded strings all end "11".
+        assert AutomataEngine(S(BINARY), db).decide(q)
+        assert not AutomataEngine(S(BINARY), encoded).decide(q)

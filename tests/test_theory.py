@@ -1,0 +1,93 @@
+"""Tests for the theory decision procedure (decidable Th(S_len) and reducts)."""
+
+import pytest
+
+from repro.errors import EvaluationError, SignatureError
+from repro.strings import Alphabet, BINARY
+from repro.theory import decide, solutions
+
+
+class TestDecide:
+    @pytest.mark.parametrize(
+        "sentence,expected",
+        [
+            # Every string has a one-symbol extension.
+            ("forall x: exists y: ext1(x, y)", True),
+            # Epsilon is below everything.
+            ("forall x: prefix(eps, x)", True),
+            # There is no longest string.
+            ("exists x: forall y: len_le(y, x)", False),
+            # Strict prefix is irreflexive and transitive.
+            ("forall x: !sprefix(x, x)", True),
+            (
+                "forall x: forall y: forall z: "
+                "(sprefix(x, y) & sprefix(y, z)) -> sprefix(x, z)",
+                True,
+            ),
+            # Prefix order is not total.
+            ("forall x: forall y: prefix(x, y) | prefix(y, x)", False),
+            # Lexicographic order IS total.
+            ("forall x: forall y: lex_le(x, y) | lex_le(y, x)", True),
+            # Equal length is an equivalence with finite classes witness:
+            ("forall x: exists y: el(x, y) & !eq(x, y) | eq(x, eps)", True),
+            # Every nonempty string has a last symbol.
+            ("forall x: eq(x, eps) | last(x, '0') | last(x, '1')", True),
+            # Density failure: between x and x.a there is no strict middle.
+            (
+                "forall x: forall y: ext1(x, y) -> "
+                "!exists z: (sprefix(x, z) & sprefix(z, y))",
+                True,
+            ),
+        ],
+    )
+    def test_slen_sentences(self, sentence, expected):
+        assert decide(sentence, BINARY, "S_len") is expected, sentence
+
+    def test_s_reduct(self):
+        assert decide("forall x: prefix(x, x)", BINARY, "S")
+        with pytest.raises(SignatureError):
+            decide("forall x: el(x, x)", BINARY, "S")
+
+    def test_rejects_free_variables(self):
+        with pytest.raises(EvaluationError):
+            decide("prefix(x, y)")
+
+    def test_rejects_db_relations(self):
+        with pytest.raises(EvaluationError):
+            decide("forall x: R(x) -> R(x)")
+
+    def test_other_alphabet(self):
+        abc = Alphabet("abc")
+        assert decide("forall x: exists y: ext1(x, y)", abc)
+        # With three symbols, three one-symbol strings exist.
+        assert decide(
+            "exists x: exists y: exists z: ext1(eps, x) & ext1(eps, y) & "
+            "ext1(eps, z) & x != y & y != z & x != z",
+            abc,
+        )
+        assert not decide(
+            "exists x: exists y: exists z: ext1(eps, x) & ext1(eps, y) & "
+            "ext1(eps, z) & x != y & y != z & x != z",
+            BINARY,
+        )
+
+
+class TestSolutions:
+    def test_finite_solution_set(self):
+        result = solutions("prefix(x, '011')", BINARY, "S")
+        assert result.as_set() == {("",), ("0",), ("01",), ("011",)}
+
+    def test_infinite_solution_set_is_regular(self):
+        result = solutions("last(x, '1')", BINARY, "S")
+        assert not result.is_finite()
+        sample = set(result.tuples(limit=4))
+        assert all(s.endswith("1") for (s,) in sample)
+
+    def test_binary_relation(self):
+        result = solutions("ext1(x, y)", BINARY, "S")
+        assert result.contains(("0", "01"))
+        assert not result.contains(("0", "011"))
+
+    def test_rejects_db_relations(self):
+        with pytest.raises(EvaluationError):
+            solutions("R(x)")

@@ -1,0 +1,68 @@
+"""The one-symbol alphabet special cases the paper remarks on.
+
+* Section 3: over a one-symbol alphabet, ``(Sigma*, .)`` is essentially
+  ``(N, +)`` — decidable, with effective syntax for safe queries;
+* Section 5.2: over one symbol, equal length is simply equality, so
+  S_len adds nothing to S.
+"""
+
+import pytest
+
+from repro.database import Database
+from repro.eval import AutomataEngine
+from repro.logic import parse_formula
+from repro.strings import Alphabet
+from repro.structures import S, S_len
+from repro.theory import decide
+
+UNARY = Alphabet("a")
+
+
+class TestUnaryAlphabet:
+    def test_el_is_equality(self):
+        """Section 5.2's parenthetical, verified as a theory sentence."""
+        assert decide("forall x: forall y: el(x, y) <-> eq(x, y)", UNARY, "S_len")
+
+    def test_el_adds_no_power_on_a_database(self):
+        db = Database(UNARY, {"R": {("a",), ("aaa",)}})
+        q_el = parse_formula("R(x) & exists adom y: R(y) & el(x, y) & !eq(x, y)")
+        q_eq = parse_formula("R(x) & exists adom y: R(y) & eq(x, y) & !eq(x, y)")
+        engine = AutomataEngine(S_len(UNARY), db)
+        assert engine.run(q_el).as_set() == engine.run(q_eq).as_set() == frozenset()
+
+    def test_prefix_is_total_order(self):
+        """Over one symbol the prefix order is the (total) length order."""
+        assert decide("forall x: forall y: prefix(x, y) | prefix(y, x)", UNARY, "S")
+
+    def test_unary_strings_behave_like_numbers(self):
+        # "Addition by one" (ext1) is a total injective function: N's successor.
+        assert decide("forall x: exists y: ext1(x, y)", UNARY, "S")
+        assert decide(
+            "forall x: forall y: forall z: (ext1(x, y) & ext1(x, z)) -> eq(y, z)",
+            UNARY,
+            "S",
+        )
+        assert decide("!exists x: ext1(x, eps)", UNARY, "S")
+
+    def test_queries_run_normally(self):
+        db = Database(UNARY, {"R": {("aa",), ("aaaa",)}})
+        q = parse_formula("exists adom y: R(y) & x <<= y")
+        result = AutomataEngine(S(UNARY), db).run(q)
+        assert result.as_set() == {("",), ("a",), ("aa",), ("aaa",), ("aaaa",)}
+
+    def test_width_one_encoding_rejected(self):
+        db = Database(UNARY, {"R": {("a",), ("aa",)}})
+        with pytest.raises(ValueError):
+            db.width_one_encoding()
+
+    def test_unary_width_is_chain_length(self):
+        # All unary strings are prefix-comparable: width = |adom|.
+        db = Database(UNARY, {"R": {("a",), ("aa",), ("aaaa",)}})
+        assert db.width() == 3
+
+    def test_star_freeness_over_unary(self):
+        # (aa)* over a unary alphabet is still not star-free.
+        from repro.automata import compile_regex, is_star_free
+
+        assert not is_star_free(compile_regex("(aa)*", UNARY))
+        assert is_star_free(compile_regex("aa*", UNARY))
