@@ -1,0 +1,35 @@
+# strqlib developer targets.  Everything runs against the in-tree sources
+# (PYTHONPATH=src); no installation required.
+
+PY := PYTHONPATH=src python
+SMOKE_DIR := .bench-smoke
+
+.PHONY: test docs-check bench-smoke bench-full clean
+
+test:
+	$(PY) -m pytest -x -q
+
+## Run every fenced `python -m repro ...` command in docs/*.md against the
+## tiny fixture database (keeps the documentation executable).
+docs-check:
+	$(PY) -m pytest tests/test_docs_examples.py -q
+
+## Run each standalone benchmark at minimal size and assert that its
+## --explain-json metrics output parses.  (The full pytest-benchmark
+## suite is `make bench-full`.)
+bench-smoke:
+	mkdir -p $(SMOKE_DIR)
+	$(PY) benchmarks/bench_abl_engines.py --smoke --explain-json $(SMOKE_DIR)/engines.json
+	$(PY) benchmarks/bench_sql_patterns.py --smoke --explain-json $(SMOKE_DIR)/sql_patterns.json
+	$(PY) -c "import json, glob, sys; \
+paths = sorted(glob.glob('$(SMOKE_DIR)/*.json')); \
+assert paths, 'no metrics JSON produced'; \
+[json.load(open(p)) for p in paths]; \
+print('bench-smoke: %d metrics files parse' % len(paths))"
+
+bench-full:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+clean:
+	rm -rf $(SMOKE_DIR) .pytest_cache
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

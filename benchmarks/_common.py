@@ -14,6 +14,8 @@ Run with::
 
 from __future__ import annotations
 
+import argparse
+import json
 import math
 import time
 from collections.abc import Callable, Sequence
@@ -62,6 +64,35 @@ def fitted_exponent(sizes: Sequence[int], times: Sequence[float]) -> float:
 def growth_ratios(times: Sequence[float]) -> list[float]:
     """Consecutive ratios t[i+1] / t[i]."""
     return [b / a if a > 0 else float("inf") for a, b in zip(times, times[1:])]
+
+
+def standalone_args(description: str, argv: Sequence[str] | None = None) -> argparse.Namespace:
+    """Arguments for a benchmark's standalone (non-pytest) entry point.
+
+    ``--smoke`` runs the minimal sizes only; ``--explain-json PATH`` dumps
+    the run's metrics (and EXPLAIN trees where applicable) as JSON — what
+    ``make bench-smoke`` asserts parses.
+    """
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--smoke", action="store_true", help="minimal sizes (CI smoke run)"
+    )
+    parser.add_argument(
+        "--explain-json",
+        metavar="PATH",
+        default=None,
+        help="write metrics + explain output as JSON to PATH",
+    )
+    return parser.parse_args(argv)
+
+
+def write_explain_json(path: str | None, payload: dict) -> None:
+    """Dump a benchmark's JSON payload (metrics snapshot, explains, rows)."""
+    if path is None:
+        return
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True, default=str)
+    print(f"wrote metrics JSON to {path}")
 
 
 def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:

@@ -16,7 +16,13 @@ from repro.strings import Alphabet, BINARY
 from repro.structures import S
 from repro.structures.catalog import S as S_factory
 
-from _common import fitted_exponent, measure, print_table
+from _common import (
+    fitted_exponent,
+    measure,
+    print_table,
+    standalone_args,
+    write_explain_json,
+)
 
 QUERY = "forall x: R(x) -> exists y: y <<= x & S(y)"
 SIZES = [2, 4, 8, 16, 32]
@@ -96,3 +102,74 @@ def test_abl_engines_compared(benchmark):
         ["|Sigma|", "automata s", "direct s"],
         alpha_rows,
     )
+
+
+# --------------------------------------------------------- standalone entry
+
+
+def main(argv=None) -> int:
+    """Standalone run: compare engines (and the planner) on a small sweep,
+    dumping metrics and EXPLAIN trees as JSON with ``--explain-json``."""
+    from repro.core.query import Query
+    from repro.engine import METRICS, global_cache
+
+    args = standalone_args(
+        "Engine ablation: automata vs direct vs planner choice", argv
+    )
+    sizes = SIZES[:2] if args.smoke else SIZES
+    # A planner-friendly variant of QUERY: restricted quantifiers, anchored
+    # output — exactly the shape the planner sends to the direct engine.
+    open_query = "R(x) & exists adom y: S(y) & y <<= x"
+    METRICS.reset()
+    global_cache().reset()
+    rows = []
+    explains = []
+    for n in sizes:
+        db = _db(n)
+        q = Query(open_query, structure="S")
+        t_auto_engine = measure(lambda: q.run(db), repeats=1)
+        t_forced_auto = measure(lambda: q.run(db, engine="automata"), repeats=1)
+        t_forced_dir = measure(lambda: q.run(db, engine="direct"), repeats=1)
+        report = q.explain(db)
+        explains.append({"n": n, "explain": report.to_dict()})
+        rows.append(
+            {
+                "n": n,
+                "planner_engine": report.plan.engine,
+                "auto_s": t_auto_engine,
+                "forced_automata_s": t_forced_auto,
+                "forced_direct_s": t_forced_dir,
+            }
+        )
+    print_table(
+        "Planner-selected vs forced engines",
+        ["n", "chosen", "auto s", "automata s", "direct s"],
+        [
+            (
+                r["n"],
+                r["planner_engine"],
+                f"{r['auto_s']:.4f}",
+                f"{r['forced_automata_s']:.4f}",
+                f"{r['forced_direct_s']:.4f}",
+            )
+            for r in rows
+        ],
+    )
+    write_explain_json(
+        args.explain_json,
+        {
+            "benchmark": "bench_abl_engines",
+            "query": open_query,
+            "rows": rows,
+            "explains": explains,
+            "cache": global_cache().stats(),
+            "metrics": METRICS.snapshot(),
+        },
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -17,7 +17,7 @@ from repro.automata import is_star_free
 from repro.sql import compile_like, compile_similar
 from repro.strings import BINARY
 
-from _common import measure, print_table
+from _common import measure, print_table, standalone_args, write_explain_json
 
 LIKE_PATTERNS = ["0%", "%1", "%01%", "0_1%0", "%010%1"]
 SIMILAR_PATTERNS = ["(00)*", "0%(11)*", "((0|1)(0|1))*", "0+1?0%"]
@@ -84,3 +84,71 @@ def test_similar_exceeds_like(benchmark):
         return True
 
     assert benchmark(check)
+
+
+# --------------------------------------------------------- standalone entry
+
+
+def main(argv=None) -> int:
+    """Standalone run: compile/match the pattern corpus and dump the
+    pattern statistics plus the automata metrics counters as JSON."""
+    from repro.engine import METRICS
+
+    args = standalone_args("SQL pattern (LIKE/SIMILAR) throughput", argv)
+    n = 100 if args.smoke else 2000
+    strings = _workload(n)
+    METRICS.reset()
+    rows = []
+    corpus = [("LIKE", compile_like, LIKE_PATTERNS), (
+        "SIMILAR", compile_similar, SIMILAR_PATTERNS)]
+    for kind, compiler, patterns in corpus:
+        for pattern in patterns:
+            with METRICS.timer(f"sql.{kind.lower()}.compile_seconds"):
+                dfa = compiler(pattern, BINARY)
+            seconds = measure(lambda: [dfa.accepts(s) for s in strings], repeats=1)
+            matches = sum(dfa.accepts(s) for s in strings)
+            METRICS.inc("sql.patterns_compiled")
+            METRICS.inc("sql.pattern_states", dfa.num_states)
+            METRICS.inc("sql.matches", matches)
+            METRICS.add_time("sql.match_seconds", seconds)
+            rows.append(
+                {
+                    "kind": kind,
+                    "pattern": pattern,
+                    "states": dfa.num_states,
+                    "star_free": is_star_free(dfa),
+                    "matches": matches,
+                    "seconds": seconds,
+                }
+            )
+    print_table(
+        f"SQL patterns over {n} strings",
+        ["kind", "pattern", "states", "star-free", "matches", "s"],
+        [
+            (
+                r["kind"],
+                r["pattern"],
+                r["states"],
+                r["star_free"],
+                r["matches"],
+                f"{r['seconds']:.4f}",
+            )
+            for r in rows
+        ],
+    )
+    write_explain_json(
+        args.explain_json,
+        {
+            "benchmark": "bench_sql_patterns",
+            "workload_size": n,
+            "rows": rows,
+            "metrics": METRICS.snapshot(),
+        },
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

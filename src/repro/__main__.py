@@ -4,9 +4,18 @@ Usage::
 
     python -m repro run "R(x) & last(x, '0')" --db db.json
     python -m repro run "el(x, y)" --db db.json --structure S_len --limit 5
+    python -m repro run "R(x)" --db db.json --engine direct   # force an engine
+    python -m repro explain "R(x) & last(x, '0')" --db db.json
+    python -m repro explain "R(x)" --db db.json --json        # machine-readable
     python -m repro safety "last(x, '0')" --db db.json
     python -m repro sql "SELECT r.1 FROM R r WHERE r.1 LIKE '0%'" --db db.json
     python -m repro language "matches(x, '(00)*')" --structure S_reg
+
+``run`` auto-selects the evaluation engine through the cost-based planner
+(:mod:`repro.engine`); pass ``--engine automata|direct`` to override.
+``explain`` prints the plan tree — chosen engine, cost estimates, per-node
+wall time, automaton state/transition counts, and automaton-cache hit
+counters (see ``docs/explain_and_metrics.md``).
 
 Database JSON format::
 
@@ -17,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro import Query, StringDatabase
@@ -28,23 +38,85 @@ from repro.structures import by_name
 from repro.strings import Alphabet
 
 
+class DatabaseFileError(ReproError):
+    """The ``--db`` file is missing, unreadable, or not valid database JSON."""
+
+
 def load_database(path: str) -> StringDatabase:
-    with open(path) as f:
-        spec = json.load(f)
-    relations = {
-        name: [tuple(row) for row in rows]
-        for name, rows in spec.get("relations", {}).items()
-    }
+    try:
+        with open(path) as f:
+            spec = json.load(f)
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        raise DatabaseFileError(
+            f"cannot read database file {path!r}: {reason}"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise DatabaseFileError(
+            f"database file {path!r} is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(spec, dict):
+        raise DatabaseFileError(
+            f"database file {path!r} must hold a JSON object "
+            '{"alphabet": ..., "relations": ...}'
+        )
+    relations_spec = spec.get("relations", {})
+    if not isinstance(relations_spec, dict):
+        raise DatabaseFileError(
+            f"database file {path!r}: \"relations\" must be an object "
+            "mapping names to lists of rows"
+        )
+    relations = {}
+    for name, rows in relations_spec.items():
+        if not isinstance(rows, list):
+            raise DatabaseFileError(
+                f"database file {path!r}: relation {name!r} must be a list of rows"
+            )
+        try:
+            relations[name] = [
+                (row,) if isinstance(row, str) else tuple(row) for row in rows
+            ]
+        except TypeError:
+            raise DatabaseFileError(
+                f"database file {path!r}: relation {name!r} has a non-row entry"
+            ) from None
     return StringDatabase(spec.get("alphabet", "01"), relations)
+
+
+def _auto_engine(engine: str):
+    return None if engine == "auto" else engine
+
+
+def _check_relations(q: Query, db: StringDatabase) -> None:
+    missing = sorted(set(q.formula.relation_names()) - set(db.db.relation_names))
+    if missing:
+        have = ", ".join(sorted(db.db.relation_names)) or "none"
+        raise ReproError(
+            f"query mentions relation(s) {', '.join(missing)} "
+            f"not present in the database (has: {have})"
+        )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     db = load_database(args.db)
     q = Query(args.query, structure=args.structure, alphabet=db.alphabet)
-    table = q.run(db, engine=args.engine, limit=args.limit)
+    _check_relations(q, db)
+    table = q.run(db, engine=_auto_engine(args.engine), limit=args.limit)
     print("\t".join(table.columns))
     for row in table:
         print("\t".join(row))
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    db = load_database(args.db)
+    q = Query(args.query, structure=args.structure, alphabet=db.alphabet)
+    _check_relations(q, db)
+    report = q.explain(db, engine=_auto_engine(args.engine))
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
     return 0
 
 
@@ -106,10 +178,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="evaluate a calculus query")
     common(p_run)
-    p_run.add_argument("--engine", default="automata", choices=["automata", "direct"])
+    p_run.add_argument(
+        "--engine",
+        default="auto",
+        choices=["auto", "automata", "direct"],
+        help="evaluation engine (default: cost-based planner)",
+    )
     p_run.add_argument("--limit", type=int, default=None,
                        help="sample size for infinite outputs")
     p_run.set_defaults(func=cmd_run)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="show the evaluation plan: engine choice, timings, cache/automata metrics",
+    )
+    common(p_explain)
+    p_explain.add_argument(
+        "--engine",
+        default="auto",
+        choices=["auto", "automata", "direct"],
+        help="force an engine instead of the planner's choice",
+    )
+    p_explain.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    p_explain.set_defaults(func=cmd_explain)
 
     p_safety = sub.add_parser("safety", help="decide state-safety (Prop 7)")
     common(p_safety)
@@ -142,6 +235,12 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # stdout closed early (e.g. `... | head`); exit quietly like a
+        # well-behaved unix tool instead of dumping a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

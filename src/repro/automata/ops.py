@@ -6,6 +6,7 @@ from collections import deque
 from collections.abc import Callable
 
 from repro.automata.dfa import DFA
+from repro.engine.metrics import METRICS
 
 
 def _product(left: DFA, right: DFA, keep: Callable[[bool, bool], bool]) -> DFA:
@@ -51,6 +52,8 @@ def _product(left: DFA, right: DFA, keep: Callable[[bool, bool], bool]) -> DFA:
             delta[sym] = seen[target]
         if delta:
             transitions[sid] = delta
+    METRICS.inc("automata.products")
+    METRICS.inc("automata.product_states", len(seen))
     return DFA(alphabet, range(len(seen)), 0, accepting, transitions)
 
 

@@ -33,6 +33,7 @@ from repro.automata.dfa import DFA
 from repro.automata.nfa import NFA
 from repro.automata.ops import _product, equivalent as dfa_equivalent
 from repro.automatic.convolution import PAD, columns, convolve, deconvolve, valid_pad_dfa
+from repro.engine.metrics import METRICS
 from repro.errors import ArityError
 from repro.strings.alphabet import Alphabet
 
@@ -54,7 +55,10 @@ class RelationAutomaton:
             self.dfa = dfa
         else:
             valid = valid_pad_dfa(alphabet, arity)
+            METRICS.inc("automata.minimizations")
             self.dfa = _product(dfa, valid, lambda a, b: a and b).minimize()
+        METRICS.inc("automata.relations_built")
+        METRICS.inc("automata.relation_states", self.dfa.num_states)
 
     # ----------------------------------------------------------- constructors
 
@@ -193,21 +197,27 @@ class RelationAutomaton:
 
     def intersection(self, other: "RelationAutomaton") -> "RelationAutomaton":
         self._check_compatible(other)
+        METRICS.inc("automata.intersections")
+        METRICS.inc("automata.minimizations")
         dfa = _product(self.dfa, other.dfa, lambda a, b: a and b).minimize()
         return RelationAutomaton(self.alphabet, self.arity, dfa, normalized=True)
 
     def union(self, other: "RelationAutomaton") -> "RelationAutomaton":
         self._check_compatible(other)
+        METRICS.inc("automata.unions")
+        METRICS.inc("automata.minimizations")
         dfa = _product(self.dfa, other.dfa, lambda a, b: a or b).minimize()
         return RelationAutomaton(self.alphabet, self.arity, dfa, normalized=True)
 
     def difference(self, other: "RelationAutomaton") -> "RelationAutomaton":
         self._check_compatible(other)
+        METRICS.inc("automata.minimizations")
         dfa = _product(self.dfa, other.dfa, lambda a, b: a and not b).minimize()
         return RelationAutomaton(self.alphabet, self.arity, dfa, normalized=True)
 
     def complement(self) -> "RelationAutomaton":
         """Complement within ``(Sigma*)^k`` (valid convolutions only)."""
+        METRICS.inc("automata.complements")
         comp = self.dfa.complement()
         # The raw complement contains invalid padding words; re-normalize.
         return RelationAutomaton(self.alphabet, self.arity, comp)
@@ -262,6 +272,9 @@ class RelationAutomaton:
             new_accepting,
             transitions,
         )
+        METRICS.inc("automata.projections")
+        METRICS.inc("automata.determinizations")
+        METRICS.inc("automata.minimizations")
         projected = nfa.determinize().minimize()
         return RelationAutomaton(self.alphabet, new_arity, projected)
 
@@ -300,6 +313,7 @@ class RelationAutomaton:
         states = set(dfa.states) | {ext_state}
         accepting = set(dfa.accepting) | {ext_state}
         new_dfa = DFA(columns(self.alphabet, new_arity), states, dfa.start, accepting, transitions)
+        METRICS.inc("automata.cylindrifications")
         return RelationAutomaton(self.alphabet, new_arity, new_dfa)
 
     def reorder(self, permutation: Sequence[int]) -> "RelationAutomaton":

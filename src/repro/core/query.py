@@ -24,10 +24,11 @@ from repro.automata.aperiodic import is_star_free
 from repro.automata.dfa import DFA
 from repro.database.instance import Database
 from repro.database.schema import Schema
+from repro.engine.cache import global_cache
+from repro.engine.explain import Explain, execute_plan, explain_query
+from repro.engine.planner import Plan, Planner
 from repro.errors import EvaluationError
 from repro.eval.automata_engine import AutomataEngine
-from repro.eval.collapse import collapse, default_slack
-from repro.eval.direct import DirectEngine
 from repro.eval.result import QueryResult
 from repro.logic.formulas import Formula
 from repro.logic.parser import parse_formula
@@ -141,18 +142,21 @@ class Query:
     def run(
         self,
         database: Union[StringDatabase, Database],
-        engine: str = "automata",
+        engine: Optional[str] = None,
         slack: Optional[int] = None,
         limit: Optional[int] = None,
     ) -> Table:
         """Evaluate and materialize the answer.
 
-        ``engine="automata"`` is the exact reference engine (handles
-        natural quantifiers, detects infinite outputs);
-        ``engine="direct"`` evaluates collapsed queries by enumeration
-        (polynomial data complexity for the PREFIX-collapsing calculi).
-        Raises :class:`~repro.errors.UnsafeQueryError` on infinite output
-        unless a ``limit`` is given.
+        With no ``engine=`` argument (or ``engine="auto"``) the
+        cost-based planner (:mod:`repro.engine.planner`) selects the
+        engine; ``Query.plan(db)`` / ``Query.explain(db)`` show the
+        choice and why.  ``engine="automata"`` forces the exact reference
+        engine (handles natural quantifiers, detects infinite outputs);
+        ``engine="direct"`` forces collapsed enumeration (polynomial data
+        complexity for the PREFIX-collapsing calculi).  Raises
+        :class:`~repro.errors.UnsafeQueryError` on infinite output unless
+        a ``limit`` is given.
         """
         result = self.result(database, engine=engine, slack=slack)
         if limit is not None and not result.is_finite():
@@ -164,27 +168,62 @@ class Query:
     def result(
         self,
         database: Union[StringDatabase, Database],
-        engine: str = "automata",
+        engine: Optional[str] = None,
         slack: Optional[int] = None,
     ) -> QueryResult:
         """Evaluate, returning the (possibly infinite) :class:`QueryResult`.
 
-        ``slack`` is the restricted-quantifier headroom.  The automata
-        engine only uses it for explicitly PREFIX/LENGTH-restricted
-        quantifiers (default 0).  The direct engine collapses natural
-        quantifiers first and defaults to slack 1 — the enumeration cost
-        grows as ``|Sigma|^slack``, so raise it deliberately (the
-        theoretically safe bound is ``2^quantifier_rank``; see
-        :func:`repro.eval.collapse.default_slack`).
+        ``engine`` is ``None``/``"auto"`` (planner-selected),
+        ``"automata"``, or ``"direct"``.  ``slack`` is the
+        restricted-quantifier headroom.  The automata engine only uses it
+        for explicitly PREFIX/LENGTH-restricted quantifiers (default 0);
+        the planner passes the same value to whichever engine it picks, so
+        auto-selection never changes the answer.  A *forced* direct engine
+        collapses natural quantifiers first and defaults to slack 1 — the
+        enumeration cost grows as ``|Sigma|^slack``, so raise it
+        deliberately (the theoretically safe bound is
+        ``2^quantifier_rank``; see :func:`repro.eval.collapse.
+        default_slack`).
+
+        Compiled automata are memoized in the session-wide
+        :func:`~repro.engine.cache.global_cache`, so repeated runs (and
+        shared subformulas) are cheap; ``Query.explain(db)`` reports the
+        hit/miss counters.
         """
         db = database.db if isinstance(database, StringDatabase) else database
-        if engine == "automata":
-            return AutomataEngine(self.structure, db, slack=slack or 0).run(self.formula)
-        if engine == "direct":
-            effective = 1 if slack is None else slack
-            q = collapse(self.formula, self.structure, slack=effective)
-            return DirectEngine(self.structure, db, slack=q.slack).run(q.formula)
-        raise EvaluationError(f"unknown engine {engine!r}")
+        force = None if engine in (None, "auto") else engine
+        plan = Planner(self.structure, db).plan(self.formula, slack=slack, force=force)
+        return execute_plan(plan, db, cache=global_cache())
+
+    def plan(
+        self,
+        database: Union[StringDatabase, Database],
+        engine: Optional[str] = None,
+        slack: Optional[int] = None,
+    ) -> Plan:
+        """The planner's decision for this query on ``database`` (no run)."""
+        db = database.db if isinstance(database, StringDatabase) else database
+        force = None if engine in (None, "auto") else engine
+        return Planner(self.structure, db).plan(self.formula, slack=slack, force=force)
+
+    def explain(
+        self,
+        database: Union[StringDatabase, Database],
+        engine: Optional[str] = None,
+        slack: Optional[int] = None,
+    ) -> Explain:
+        """Run with tracing and return the annotated EXPLAIN report.
+
+        The report bundles the plan (engine choice, cost estimates), a
+        tree annotated with per-node wall time and automaton state /
+        transition counts, the metrics-counter delta of this run, and the
+        automaton-cache statistics.  See ``docs/explain_and_metrics.md``.
+        """
+        db = database.db if isinstance(database, StringDatabase) else database
+        force = None if engine in (None, "auto") else engine
+        return explain_query(
+            self.formula, self.structure, db, engine=force, slack=slack
+        )
 
     def decide(self, database: Union[StringDatabase, Database]) -> bool:
         """Truth value of a Boolean query (sentence)."""

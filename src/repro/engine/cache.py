@@ -1,0 +1,188 @@
+"""The automaton cache: LRU memoization of compiled query automata.
+
+Compiling a subformula to a :class:`~repro.automatic.relation.
+RelationAutomaton` involves products, complements, determinizations and
+minimizations — by far the dominant cost of the automata engine.  The
+results are immutable, so they can be shared freely; this module provides
+the session-wide store that makes repeated work free:
+
+* **keys** are *structural*: the canonical text of the (term-flattened)
+  subformula plus the structure name, alphabet, and slack.  Subformulas
+  that mention database relations additionally carry a **database
+  fingerprint** (a SHA-1 over the canonicalized instance), so a cached
+  entry is only reused against the identical database;
+* subformulas that do *not* mention any database relation (pure
+  structure/presentation automata like ``x <<= y & last(y, '0')``) are
+  keyed **without** the fingerprint — they are interned once per session
+  and shared across every database;
+* the store is **LRU-bounded** (default 256 entries) and counts hits /
+  misses / evictions both locally and in :data:`repro.engine.metrics.
+  METRICS` (``cache.hits`` / ``cache.misses`` / ``cache.evictions``).
+
+Usage::
+
+    from repro.engine.cache import global_cache
+
+    cache = global_cache()
+    cache.stats()       # {"hits": 10, "misses": 4, "size": 4, ...}
+    cache.clear()       # drop entries, keep counters
+    cache.resize(1024)  # tune capacity
+
+Stdlib-only on purpose: importable from any layer without cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+from repro.engine.metrics import METRICS
+
+#: Default number of cached automata (per cache instance).
+DEFAULT_MAXSIZE = 256
+
+
+class AutomatonCache:
+    """An LRU map from structural keys to compiled automata.
+
+    Values are opaque to the cache (the engines store
+    ``(RelationAutomaton, variables)`` pairs and whole query results);
+    they must be immutable, since hits hand back the stored object.
+    """
+
+    __slots__ = ("maxsize", "_data", "hits", "misses", "evictions")
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE):
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------ access
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value for ``key``, or ``None`` (counts hit/miss)."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            METRICS.inc("cache.misses")
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        METRICS.inc("cache.hits")
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store ``value`` under ``key``, evicting the LRU entry if full."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+            METRICS.inc("cache.evictions")
+
+    def get_or_build(self, key: Hashable, builder) -> Any:
+        """Cached value for ``key``, calling ``builder()`` on a miss."""
+        value = self.get(key)
+        if value is None:
+            value = builder()
+            self.put(key, value)
+        return value
+
+    # ---------------------------------------------------------- management
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters plus current occupancy."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+        }
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; see :meth:`reset`)."""
+        self._data.clear()
+
+    def reset(self) -> None:
+        """Drop entries *and* zero the counters."""
+        self.clear()
+        self.hits = self.misses = self.evictions = 0
+
+    def resize(self, maxsize: int) -> None:
+        """Change capacity, evicting LRU entries if shrinking."""
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        while len(self._data) > maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+            METRICS.inc("cache.evictions")
+
+    def __repr__(self) -> str:
+        return f"AutomatonCache({self.stats()})"
+
+
+# ------------------------------------------------------------------- keying
+
+
+def database_fingerprint(database) -> str:
+    """A stable hex digest of a database instance.
+
+    Canonical serialization: alphabet symbols, then each relation name with
+    its sorted tuples.  Two databases share a fingerprint iff they are
+    extensionally equal (up to SHA-1 collisions).
+    """
+    h = hashlib.sha1()
+    h.update("|".join(database.alphabet.symbols).encode())
+    for name in sorted(database.relation_names):
+        h.update(b"\x00")
+        h.update(name.encode())
+        for tup in sorted(database.relation(name)):
+            h.update(b"\x01")
+            h.update("\x02".join(tup).encode())
+    return h.hexdigest()
+
+
+def formula_key(
+    formula,
+    structure_name: str,
+    alphabet_symbols: tuple[str, ...],
+    slack: int,
+    db_fingerprint: Optional[str],
+    stage: str = "automata",
+) -> tuple:
+    """The structural cache key of one (sub)formula compilation.
+
+    ``db_fingerprint`` must be ``None`` exactly when the formula mentions
+    no database relation — that is what makes pure presentation automata
+    *interned* across databases.  ``stage`` distinguishes value spaces
+    (``"automata"`` subformula compilations vs ``"direct-result"`` whole
+    query results).
+    """
+    return (
+        stage,
+        structure_name,
+        alphabet_symbols,
+        slack,
+        db_fingerprint,
+        str(formula),
+    )
+
+
+_GLOBAL = AutomatonCache()
+
+
+def global_cache() -> AutomatonCache:
+    """The session-wide cache shared by :class:`repro.core.query.Query`."""
+    return _GLOBAL

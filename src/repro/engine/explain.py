@@ -1,0 +1,280 @@
+"""EXPLAIN: annotated plan trees, per-node timings, and run execution.
+
+This module owns the instrumented execution path shared by
+:meth:`repro.core.query.Query.run` and :meth:`~repro.core.query.Query.
+explain`:
+
+* :func:`execute_plan` runs a :class:`~repro.engine.planner.Plan` through
+  the chosen engine, consulting the automaton cache and recording engine
+  counters in :data:`~repro.engine.metrics.METRICS`;
+* :func:`explain_query` does the same with a trace observer attached and
+  returns an :class:`Explain`: the plan, a tree annotated with per-node
+  wall time / automaton state + transition counts / cache hits, the
+  metrics delta of the run, and the cache statistics.
+
+The tree format (documented in ``docs/explain_and_metrics.md``): for the
+automata engine every node of the *term-flattened* formula gets a node
+with the compiled automaton's size and whether it came from the cache;
+for the direct engine the tree is the planner's static tree (domain-size
+annotations) with the total wall time on the root — the direct engine
+evaluates per candidate tuple, so per-node times are not meaningful.
+
+Usage::
+
+    from repro import Query, StringDatabase
+    db = StringDatabase("01", {"R": {"0110", "001"}})
+    e = Query("R(x) & last(x, '0')").explain(db)
+    print(e.render())          # plan + annotated tree + counters
+    e.to_dict()                # JSON-serializable
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.database.instance import Database
+from repro.engine import metrics as metrics_mod
+from repro.engine.cache import (
+    AutomatonCache,
+    database_fingerprint,
+    formula_key,
+    global_cache,
+)
+from repro.engine.metrics import METRICS
+from repro.engine.planner import Plan, Planner
+from repro.eval.result import QueryResult
+from repro.logic.formulas import Formula
+from repro.structures.base import StringStructure
+
+
+# ------------------------------------------------------------------ the tree
+
+
+@dataclass
+class ExplainNode:
+    """One node of the annotated EXPLAIN tree."""
+
+    label: str
+    kind: str
+    seconds: Optional[float] = None
+    states: Optional[int] = None
+    transitions: Optional[int] = None
+    cache_hit: Optional[bool] = None
+    annotations: dict[str, object] = field(default_factory=dict)
+    children: list["ExplainNode"] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        out: dict[str, object] = {"label": self.label, "kind": self.kind}
+        if self.seconds is not None:
+            out["seconds"] = round(self.seconds, 6)
+        if self.states is not None:
+            out["states"] = self.states
+        if self.transitions is not None:
+            out["transitions"] = self.transitions
+        if self.cache_hit is not None:
+            out["cache_hit"] = self.cache_hit
+        if self.annotations:
+            out["annotations"] = dict(self.annotations)
+        out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def render(self, indent: str = "") -> str:
+        notes = []
+        if self.seconds is not None:
+            notes.append(f"{self.seconds * 1000:.2f}ms")
+        if self.states is not None:
+            notes.append(f"states={self.states}")
+        if self.transitions is not None:
+            notes.append(f"trans={self.transitions}")
+        if self.cache_hit:
+            notes.append("cached")
+        notes.extend(f"{k}={v}" for k, v in self.annotations.items())
+        line = f"{indent}{self.label}" + (f"  [{', '.join(notes)}]" if notes else "")
+        lines = [line]
+        for child in self.children:
+            lines.append(child.render(indent + "  "))
+        return "\n".join(lines)
+
+
+def _dfa_transition_count(dfa) -> int:
+    return sum(len(delta) for delta in dfa.transitions.values())
+
+
+class TraceObserver:
+    """Builds the EXPLAIN tree while the automata engine recurses.
+
+    The engine calls :meth:`enter` before compiling a subformula and
+    :meth:`exit` after, with the compiled relation and whether it was a
+    cache hit; nesting gives the tree.
+    """
+
+    def __init__(self) -> None:
+        self.root: Optional[ExplainNode] = None
+        self._stack: list[ExplainNode] = []
+
+    def enter(self, formula: Formula) -> None:
+        node = ExplainNode(str(formula), type(formula).__name__)
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self.root = node
+        self._stack.append(node)
+
+    def exit(self, formula: Formula, relation, seconds: float, cached: bool) -> None:
+        node = self._stack.pop()
+        node.seconds = seconds
+        node.cache_hit = cached
+        node.states = relation.dfa.num_states
+        node.transitions = _dfa_transition_count(relation.dfa)
+
+
+def plan_tree_to_explain(node) -> ExplainNode:
+    """Convert a static :class:`~repro.engine.planner.PlanNode` tree."""
+    return ExplainNode(
+        node.label,
+        node.kind,
+        annotations=dict(node.annotations),
+        children=[plan_tree_to_explain(c) for c in node.children],
+    )
+
+
+# ---------------------------------------------------------------- execution
+
+
+def execute_plan(
+    plan: Plan,
+    database: Database,
+    cache: Optional[AutomatonCache] = None,
+    observer: Optional[TraceObserver] = None,
+) -> QueryResult:
+    """Run a plan's formula through its chosen engine, with caching.
+
+    The automata engine memoizes every subformula compilation in
+    ``cache``; the direct engine memoizes its whole result relation (its
+    intermediate states are per-tuple booleans, not automata).
+    """
+    from repro.eval.automata_engine import AutomataEngine
+    from repro.eval.direct import DirectEngine
+
+    if cache is None:
+        cache = global_cache()
+    structure = plan.structure
+    METRICS.inc(f"engine.{plan.engine}.runs")
+    t0 = time.perf_counter()
+    try:
+        if plan.engine == "automata":
+            engine = AutomataEngine(
+                structure, database, slack=plan.slack, cache=cache, observer=observer
+            )
+            return engine.run(plan.formula)
+        # Direct engine: cache the full result keyed on the collapsed
+        # formula + slack + database fingerprint.
+        key = formula_key(
+            plan.formula,
+            structure.name,
+            structure.alphabet.symbols,
+            plan.slack,
+            database_fingerprint(database),
+            stage="direct-result",
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return QueryResult(*cached)
+        result = DirectEngine(structure, database, slack=plan.slack).run(plan.formula)
+        cache.put(key, (result.variables, result.relation))
+        return result
+    finally:
+        METRICS.add_time(f"engine.{plan.engine}.seconds", time.perf_counter() - t0)
+
+
+# ------------------------------------------------------------------- explain
+
+
+@dataclass
+class Explain:
+    """Everything :meth:`Query.explain` reports for one run."""
+
+    plan: Plan
+    root: ExplainNode
+    seconds: float
+    counters: dict[str, float]
+    cache_stats: dict[str, int]
+    variables: tuple[str, ...]
+    finite: bool
+    tuple_count: Optional[int]
+
+    def to_dict(self) -> dict:
+        return {
+            "plan": self.plan.to_dict(),
+            "tree": self.root.to_dict(),
+            "seconds": round(self.seconds, 6),
+            "counters": dict(self.counters),
+            "cache": dict(self.cache_stats),
+            "result": {
+                "variables": list(self.variables),
+                "finite": self.finite,
+                "tuples": self.tuple_count,
+            },
+        }
+
+    def render(self) -> str:
+        cache = self.cache_stats
+        shape = (
+            f"{self.tuple_count} tuples" if self.finite else "infinite (regular)"
+        )
+        lines = [
+            self.plan.render(),
+            "",
+            f"executed in {self.seconds * 1000:.2f}ms — "
+            f"output({', '.join(self.variables) or 'boolean'}): {shape}",
+            f"cache: hits={cache['hits']} misses={cache['misses']} "
+            f"size={cache['size']}/{cache['maxsize']}",
+            "",
+            self.root.render(),
+        ]
+        if self.counters:
+            lines.append("")
+            lines.append("counters (this run):")
+            for name in sorted(self.counters):
+                value = self.counters[name]
+                shown = f"{value:.6f}" if name.endswith(".seconds") else f"{value:g}"
+                lines.append(f"  {name} = {shown}")
+        return "\n".join(lines)
+
+
+def explain_query(
+    formula: Formula,
+    structure: StringStructure,
+    database: Database,
+    engine: Optional[str] = None,
+    slack: Optional[int] = None,
+    cache: Optional[AutomatonCache] = None,
+) -> Explain:
+    """Plan, execute with tracing, and report (see module docstring)."""
+    if cache is None:
+        cache = global_cache()
+    plan = Planner(structure, database).plan(formula, slack=slack, force=engine)
+    observer = TraceObserver() if plan.engine == "automata" else None
+    before = METRICS.snapshot()
+    t0 = time.perf_counter()
+    result = execute_plan(plan, database, cache=cache, observer=observer)
+    seconds = time.perf_counter() - t0
+    counters = metrics_mod.delta(before, METRICS.snapshot())
+    if observer is not None and observer.root is not None:
+        root = observer.root
+    else:
+        root = plan_tree_to_explain(plan.root)
+        root.seconds = seconds
+    finite = result.is_finite()
+    return Explain(
+        plan=plan,
+        root=root,
+        seconds=seconds,
+        counters=counters,
+        cache_stats=cache.stats(),
+        variables=result.variables,
+        finite=finite,
+        tuple_count=result.count() if finite else None,
+    )

@@ -1,0 +1,88 @@
+"""A process-wide counters/timers registry for engine observability.
+
+Every interesting event in the evaluation stack — automata products,
+complements, determinizations, cache hits, planner decisions, engine wall
+time — increments a named counter here.  The registry is deliberately
+dependency-free (standard library only) so the lowest layers of the
+library (:mod:`repro.automata.ops`, :mod:`repro.automatic.relation`) can
+import it without cycles.
+
+Counter names form a dotted hierarchy; the full list is documented in
+``docs/explain_and_metrics.md``.  Typical use::
+
+    from repro.engine.metrics import METRICS
+
+    METRICS.reset()
+    ... run queries ...
+    print(METRICS.snapshot())          # {"automata.products": 42, ...}
+
+Benchmarks dump ``METRICS.snapshot()`` as JSON (see ``make bench-smoke``);
+:meth:`repro.core.query.Query.explain` reports the per-run *delta* of
+these counters.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class MetricsRegistry:
+    """Named monotonically-increasing counters and accumulated timers.
+
+    Counters are plain integers (or floats for ``*.seconds`` entries);
+    there is no sampling and no locking — the library is single-threaded
+    per registry, and the GIL makes ``dict`` increments atomic enough for
+    observability purposes.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: dict[str, float] = {}
+
+    # ------------------------------------------------------------ recording
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Increment counter ``name`` by ``amount`` (creating it at 0)."""
+        self._values[name] = self._values.get(name, 0) + amount
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate wall-clock ``seconds`` under ``name`` (``*.seconds``)."""
+        self.inc(name, seconds)
+
+    @contextmanager
+    def timer(self, name: str):
+        """Context manager accumulating the elapsed time under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - t0)
+
+    # ------------------------------------------------------------- reading
+
+    def get(self, name: str) -> float:
+        return self._values.get(name, 0)
+
+    def snapshot(self) -> dict[str, float]:
+        """A point-in-time copy of every counter (JSON-serializable)."""
+        return dict(self._values)
+
+    def reset(self) -> None:
+        """Zero every counter (fresh measurement window)."""
+        self._values.clear()
+
+
+def delta(before: dict[str, float], after: dict[str, float]) -> dict[str, float]:
+    """Counter-wise ``after - before``, keeping only counters that moved."""
+    out: dict[str, float] = {}
+    for name, value in after.items():
+        diff = value - before.get(name, 0)
+        if diff:
+            out[name] = diff
+    return out
+
+
+#: The process-wide registry used by the engines, cache, and planner.
+METRICS = MetricsRegistry()

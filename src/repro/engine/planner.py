@@ -1,0 +1,555 @@
+"""The cost-based query planner: choose an evaluation engine per query.
+
+The library has two engines with one semantics (see ``docs/architecture.md``):
+
+* the **automata engine** — exact on every query, natural quantifiers
+  included, at a worst-case exponential automata cost (the paper's PH
+  upper bound, Theorem 2);
+* the **direct engine** — enumeration over the restricted quantifier
+  domains, polynomial in the database for the PREFIX-collapsing calculi
+  (Corollaries 2/7) but exponential for S_len's LENGTH domains.
+
+Historically callers picked an engine by hand (``Query.run(db,
+engine="direct")``).  The planner replaces that choice: it inspects the
+formula (quantifier kinds, negation depth, structure) and the database
+(active-domain size, prefix-closure size, maximum string length) and
+selects the engine expected to be cheaper — *without ever changing the
+answer*.  The selection is deliberately conservative:
+
+1. a formula with NATURAL quantifiers always goes to the automata engine
+   (the reference natural semantics; the direct engine cannot run it);
+2. a formula whose free variables are not all *anchored* in a positive
+   database atom goes to the automata engine (its output may leave the
+   active domain — even be infinite — and direct enumeration would
+   silently truncate it);
+3. otherwise both engines agree exactly (they share the restricted-domain
+   definitions and the slack), and the planner compares cost estimates:
+   the product of restricted-domain sizes for the direct engine vs a
+   state-count heuristic for the automata engine.
+
+Rule 3 is where the paper's complexity landscape becomes operational: a
+collapsed RC(S) query sees a polynomial PREFIX domain and goes direct,
+while an RC(S_len) query over a long string sees the ``|Sigma|^maxlen``
+LENGTH domain blow past :data:`DIRECT_COST_CEILING` and goes to automata.
+
+Tuning knobs (module constants, also per-:class:`Planner` arguments):
+``DIRECT_COST_CEILING`` — hard cap on estimated direct enumeration work;
+``DIRECT_BIAS`` — how many direct candidate-checks are assumed to cost as
+much as one automata state expansion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.database.instance import Database
+from repro.engine.metrics import METRICS
+from repro.errors import EvaluationError
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    QuantKind,
+    RelAtom,
+    TrueF,
+)
+from repro.logic.terms import Var
+from repro.logic.transform import to_nnf
+from repro.structures.base import StringStructure
+
+#: Estimated direct-engine candidate checks above which the planner always
+#: prefers the automata engine (protects against LENGTH-domain blowups).
+DIRECT_COST_CEILING = 2_000_000.0
+
+#: One automata state expansion is assumed to cost as much as this many
+#: direct candidate checks (python-level enumeration is much cheaper per
+#: step than product/minimize machinery).
+DIRECT_BIAS = 64.0
+
+_INF = float("inf")
+
+
+# ------------------------------------------------------------------ plan tree
+
+
+@dataclass
+class PlanNode:
+    """One node of the (static) plan tree — mirrors the formula shape."""
+
+    label: str
+    kind: str
+    annotations: dict[str, object] = field(default_factory=dict)
+    children: tuple["PlanNode", ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "kind": self.kind,
+            "annotations": dict(self.annotations),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def render(self, indent: str = "") -> str:
+        notes = ", ".join(f"{k}={v}" for k, v in self.annotations.items())
+        line = f"{indent}{self.label}" + (f"  [{notes}]" if notes else "")
+        lines = [line]
+        for child in self.children:
+            lines.append(child.render(indent + "  "))
+        return "\n".join(lines)
+
+
+@dataclass
+class Plan:
+    """The planner's decision for one query on one database.
+
+    ``formula`` is the formula the chosen engine will actually run (for a
+    forced direct engine this is the *collapsed* formula); ``slack`` is
+    the restricted-domain headroom both engines would use.
+    """
+
+    engine: str  # "automata" | "direct"
+    reason: str
+    forced: bool
+    slack: int
+    formula: Formula
+    structure: StringStructure
+    direct_cost: float
+    automata_cost: float
+    root: PlanNode
+    quantifier_kinds: tuple[str, ...]
+    negation_depth: int
+    anchored_free: bool
+    db_stats: dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "engine": self.engine,
+            "reason": self.reason,
+            "forced": self.forced,
+            "slack": self.slack,
+            "structure": self.structure.name,
+            "direct_cost": self.direct_cost,
+            "automata_cost": self.automata_cost,
+            "quantifier_kinds": list(self.quantifier_kinds),
+            "negation_depth": self.negation_depth,
+            "anchored_free": self.anchored_free,
+            "db_stats": dict(self.db_stats),
+            "tree": self.root.to_dict(),
+        }
+
+    def render(self) -> str:
+        mode = "forced" if self.forced else "auto"
+        lines = [
+            f"engine: {self.engine} ({mode}) — {self.reason}",
+            f"estimated cost: direct≈{_fmt_cost(self.direct_cost)}"
+            f"  automata≈{_fmt_cost(self.automata_cost)}"
+            f"  (slack={self.slack})",
+            self.root.render(),
+        ]
+        return "\n".join(lines)
+
+
+def _fmt_cost(cost: float) -> str:
+    if cost == _INF:
+        return "inf"
+    if cost >= 1e5:
+        return f"{cost:.2e}"
+    return f"{cost:g}"
+
+
+# ----------------------------------------------------------- anchored analysis
+
+
+def anchored_free_variables(formula: Formula) -> frozenset[str]:
+    """Free variables guaranteed to take *active-domain* values.
+
+    A stricter, value-preserving variant of the classic range-restriction
+    analysis: a variable is anchored only when it occurs as a **bare
+    variable argument** of a positive database atom (a variable buried in
+    a term like ``R(add_last(x, '0'))`` is constrained, but its own value
+    need not be in ``adom``).  Conjunction anchors the union, disjunction
+    the intersection, negation nothing.
+    """
+    return _anchored(to_nnf(formula))
+
+
+def _anchored(nnf: Formula) -> frozenset[str]:
+    if isinstance(nnf, RelAtom):
+        return frozenset(t.name for t in nnf.args if isinstance(t, Var))
+    if isinstance(nnf, And):
+        out: frozenset[str] = frozenset()
+        for p in nnf.parts:
+            out |= _anchored(p)
+        return out
+    if isinstance(nnf, Or):
+        parts = [_anchored(p) for p in nnf.parts]
+        out = parts[0]
+        for p in parts[1:]:
+            out &= p
+        return out
+    if isinstance(nnf, (Exists, Forall)):
+        return _anchored(nnf.body) - {nnf.var}
+    return frozenset()
+
+
+def negation_depth(formula: Formula) -> int:
+    """Maximum number of nested negations (after NNF the interesting part
+    is negation over quantifiers, which drives automata complement cost)."""
+    if isinstance(formula, Not):
+        return 1 + negation_depth(formula.inner)
+    return max((negation_depth(c) for c in formula.children()), default=0)
+
+
+# ------------------------------------------------------------- cost estimates
+
+
+def _geometric(base: int, exponent: int) -> float:
+    """``1 + base + ... + base^exponent`` with overflow-safe floats."""
+    if exponent < 0:
+        return 1.0
+    if base <= 1:
+        return float(exponent + 1)
+    try:
+        return float((base ** (exponent + 1) - 1) / (base - 1))
+    except OverflowError:
+        return _INF
+
+
+def domain_size_estimate(
+    kind: QuantKind, structure: StringStructure, database: Database, slack: int
+) -> float:
+    """Estimated number of candidate strings one quantifier enumerates."""
+    sigma = len(structure.alphabet)
+    if kind is QuantKind.ADOM:
+        return float(max(len(database.adom), 1))
+    if kind is QuantKind.PREFIX:
+        closure = len(database.adom_prefix_closure()) or 1
+        return closure * _geometric(sigma, slack)
+    if kind is QuantKind.LENGTH:
+        max_len = max(database.max_string_length, 0)
+        return _geometric(sigma, max_len + slack)
+    # NATURAL: the direct engine cannot enumerate Sigma*.
+    return _INF
+
+
+def estimate_direct_cost(
+    formula: Formula,
+    structure: StringStructure,
+    database: Database,
+    slack: int,
+) -> float:
+    """Estimated candidate checks of the direct engine: the product of the
+    output-column domains times the per-tuple evaluation cost (which itself
+    multiplies through nested quantifier domains)."""
+
+    def per_tuple(f: Formula) -> float:
+        if isinstance(f, (TrueF, FalseF, Atom, RelAtom)):
+            return 1.0
+        if isinstance(f, Not):
+            return per_tuple(f.inner)
+        if isinstance(f, (And, Or)):
+            return sum(per_tuple(p) for p in f.parts)
+        if isinstance(f, (Exists, Forall)):
+            dom = domain_size_estimate(f.kind, structure, database, slack)
+            inner = per_tuple(f.body)
+            if dom == _INF or inner == _INF:
+                return _INF
+            return dom * inner
+        raise EvaluationError(f"cannot cost formula node {f!r}")
+
+    anchored = anchored_free_variables(formula)
+    output = 1.0
+    for var in sorted(formula.free_variables()):
+        kind = (
+            QuantKind.ADOM if var in anchored else structure.restricted_kind
+        )
+        size = domain_size_estimate(kind, structure, database, slack)
+        if size == _INF:
+            return _INF
+        output *= size
+    inner = per_tuple(formula)
+    return _INF if inner == _INF else output * inner
+
+
+def estimate_automata_cost(
+    formula: Formula, structure: StringStructure, database: Database
+) -> float:
+    """A state-count heuristic for the automata engine.
+
+    Atoms contribute their presentation size (a small constant) or the
+    database trie size; products multiply (capped), projection after which
+    a complement occurs models the determinization blowup.  The absolute
+    value is meaningless — only the comparison against the (similarly
+    heuristic) direct estimate matters.
+    """
+    sigma = len(structure.alphabet)
+    column_factor = float(sigma + 1)
+    db_trie = 2.0 + sum(
+        len(s) for tup in (
+            database.relation(n) for n in database.relation_names
+        ) for row in tup for s in row
+    )
+
+    def states(f: Formula) -> float:
+        if isinstance(f, (TrueF, FalseF)):
+            return 1.0
+        if isinstance(f, Atom):
+            return 4.0
+        if isinstance(f, RelAtom):
+            return db_trie
+        if isinstance(f, Not):
+            # Complement is cheap on a DFA, but it forces the downstream
+            # product to explore the completed automaton.
+            return states(f.inner) + 1.0
+        if isinstance(f, (And, Or)):
+            acc = 1.0
+            for p in f.parts:
+                acc = min(acc * states(p), 1e12)
+            return acc
+        if isinstance(f, (Exists, Forall)):
+            inner = states(f.body)
+            if f.kind is not QuantKind.NATURAL:
+                inner = min(inner * db_trie, 1e12)  # domain-guard product
+            # Projection introduces nondeterminism; determinization can
+            # square the state count in the worst case — model it gently.
+            return min(inner ** 1.2 + 2.0, 1e12)
+        raise EvaluationError(f"cannot cost formula node {f!r}")
+
+    return min(states(formula) * column_factor, 1e15)
+
+
+# ------------------------------------------------------------------- planner
+
+
+class Planner:
+    """Plan queries for one structure + database pair.
+
+    Parameters
+    ----------
+    structure, database:
+        The evaluation context (alphabets must match).
+    ceiling, bias:
+        Overrides for :data:`DIRECT_COST_CEILING` / :data:`DIRECT_BIAS`.
+    """
+
+    def __init__(
+        self,
+        structure: StringStructure,
+        database: Database,
+        ceiling: float = DIRECT_COST_CEILING,
+        bias: float = DIRECT_BIAS,
+    ):
+        if structure.alphabet != database.alphabet:
+            raise EvaluationError("structure and database alphabets differ")
+        self.structure = structure
+        self.database = database
+        self.ceiling = ceiling
+        self.bias = bias
+
+    # ------------------------------------------------------------- planning
+
+    def plan(
+        self,
+        formula: Formula,
+        slack: Optional[int] = None,
+        force: Optional[str] = None,
+    ) -> Plan:
+        """Choose an engine (or honor ``force``) and build the plan tree."""
+        METRICS.inc("planner.plans")
+        if force == "direct":
+            return self._forced_direct(formula, slack)
+        if force == "automata":
+            return self._make_plan(
+                formula,
+                engine="automata",
+                reason="engine forced by caller",
+                forced=True,
+                slack=slack if slack is not None else 0,
+            )
+        if force is not None:
+            raise EvaluationError(f"unknown engine {force!r}")
+        return self._auto(formula, slack)
+
+    def _auto(self, formula: Formula, slack: Optional[int]) -> Plan:
+        effective = slack if slack is not None else 0
+        kinds = formula.quantifier_kinds()
+        anchored = anchored_free_variables(formula)
+        free = formula.free_variables()
+        if QuantKind.NATURAL in kinds:
+            plan = self._make_plan(
+                formula,
+                engine="automata",
+                reason="NATURAL quantifiers need the exact automata engine",
+                forced=False,
+                slack=effective,
+            )
+        elif free and not free <= anchored:
+            loose = sorted(free - anchored)
+            plan = self._make_plan(
+                formula,
+                engine="automata",
+                reason=(
+                    f"free variable(s) {loose} not anchored in a positive "
+                    "database atom; direct enumeration could truncate the output"
+                ),
+                forced=False,
+                slack=effective,
+            )
+        elif QuantKind.ADOM in kinds and not self.database.adom:
+            plan = self._make_plan(
+                formula,
+                engine="automata",
+                reason="empty active domain: ADOM anchoring is vacuous",
+                forced=False,
+                slack=effective,
+            )
+        else:
+            direct_cost = estimate_direct_cost(
+                formula, self.structure, self.database, effective
+            )
+            automata_cost = estimate_automata_cost(
+                formula, self.structure, self.database
+            )
+            if direct_cost <= min(self.ceiling, automata_cost * self.bias):
+                plan = self._make_plan(
+                    formula,
+                    engine="direct",
+                    reason=(
+                        "restricted quantifiers, anchored output, and a small "
+                        f"enumeration domain (≈{_fmt_cost(direct_cost)} checks)"
+                    ),
+                    forced=False,
+                    slack=effective,
+                )
+            elif direct_cost > self.ceiling:
+                plan = self._make_plan(
+                    formula,
+                    engine="automata",
+                    reason=(
+                        f"restricted domains too large for enumeration "
+                        f"(≈{_fmt_cost(direct_cost)} checks > ceiling "
+                        f"{_fmt_cost(self.ceiling)})"
+                    ),
+                    forced=False,
+                    slack=effective,
+                )
+            else:
+                plan = self._make_plan(
+                    formula,
+                    engine="automata",
+                    reason=(
+                        "automata compilation estimated cheaper than "
+                        f"enumeration (≈{_fmt_cost(automata_cost)} states vs "
+                        f"≈{_fmt_cost(direct_cost)} checks)"
+                    ),
+                    forced=False,
+                    slack=effective,
+                )
+        METRICS.inc(f"planner.chose_{plan.engine}")
+        return plan
+
+    def _forced_direct(self, formula: Formula, slack: Optional[int]) -> Plan:
+        # Mirror the historical Query.result(engine="direct") semantics:
+        # collapse NATURAL quantifiers, default slack 1.
+        from repro.eval.collapse import collapse
+
+        effective = 1 if slack is None else slack
+        collapsed = collapse(formula, self.structure, slack=effective)
+        return self._make_plan(
+            collapsed.formula,
+            engine="direct",
+            reason="engine forced by caller (formula collapsed)",
+            forced=True,
+            slack=collapsed.slack,
+        )
+
+    # ------------------------------------------------------------ plan build
+
+    def _make_plan(
+        self,
+        formula: Formula,
+        engine: str,
+        reason: str,
+        forced: bool,
+        slack: int,
+    ) -> Plan:
+        anchored = anchored_free_variables(formula)
+        free = formula.free_variables()
+        direct_cost = estimate_direct_cost(
+            formula, self.structure, self.database, slack
+        )
+        automata_cost = estimate_automata_cost(
+            formula, self.structure, self.database
+        )
+        db = self.database
+        return Plan(
+            engine=engine,
+            reason=reason,
+            forced=forced,
+            slack=slack,
+            formula=formula,
+            structure=self.structure,
+            direct_cost=direct_cost,
+            automata_cost=automata_cost,
+            root=self._node(formula, slack),
+            quantifier_kinds=tuple(
+                sorted(k.value for k in formula.quantifier_kinds())
+            ),
+            negation_depth=negation_depth(formula),
+            anchored_free=bool(free <= anchored),
+            db_stats={
+                "adom_size": len(db.adom),
+                "prefix_closure_size": len(db.adom_prefix_closure()),
+                "max_string_length": db.max_string_length,
+                "tuples": db.size,
+                "alphabet_size": len(db.alphabet),
+            },
+        )
+
+    def _node(self, f: Formula, slack: int) -> PlanNode:
+        if isinstance(f, (Atom, RelAtom, TrueF, FalseF)):
+            kind = "rel-atom" if isinstance(f, RelAtom) else "atom"
+            notes: dict[str, object] = {}
+            if isinstance(f, RelAtom):
+                notes["tuples"] = len(self.database.relation(f.name)) if (
+                    f.name in self.database.relation_names
+                ) else "?"
+            return PlanNode(str(f), kind, notes)
+        if isinstance(f, Not):
+            return PlanNode("not", "not", {}, (self._node(f.inner, slack),))
+        if isinstance(f, (And, Or)):
+            label = "and" if isinstance(f, And) else "or"
+            return PlanNode(
+                label,
+                label,
+                {"free": ",".join(sorted(f.free_variables())) or "-"},
+                tuple(self._node(p, slack) for p in f.parts),
+            )
+        if isinstance(f, (Exists, Forall)):
+            q = "exists" if isinstance(f, Exists) else "forall"
+            size = domain_size_estimate(f.kind, self.structure, self.database, slack)
+            return PlanNode(
+                f"{q} {f.kind.value} {f.var}",
+                q,
+                {"domain": f"≈{_fmt_cost(size)}"},
+                (self._node(f.body, slack),),
+            )
+        raise EvaluationError(f"cannot plan formula node {f!r}")
+
+
+def plan_query(
+    formula: Formula,
+    structure: StringStructure,
+    database: Database,
+    slack: Optional[int] = None,
+    force: Optional[str] = None,
+) -> Plan:
+    """One-shot convenience wrapper around :class:`Planner`."""
+    return Planner(structure, database).plan(formula, slack=slack, force=force)

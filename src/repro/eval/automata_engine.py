@@ -29,11 +29,14 @@ polynomial-data-complexity evaluator for collapsed queries.
 from __future__ import annotations
 
 import functools
+import time
 from collections.abc import Sequence
 from typing import Optional
 
 from repro.automatic.relation import RelationAutomaton
 from repro.database.instance import Database
+from repro.engine.cache import AutomatonCache, database_fingerprint, formula_key
+from repro.engine.metrics import METRICS
 from repro.errors import EvaluationError
 from repro.eval.domains import (
     extension_set_relation,
@@ -73,14 +76,34 @@ class AutomataEngine:
         Headroom for PREFIX/LENGTH-restricted quantifiers (the ``k`` of the
         paper's Lemmas 1-2).  Shared with the direct engine so both give
         identical semantics to restricted formulas.
+    cache:
+        Optional :class:`~repro.engine.cache.AutomatonCache`.  When given,
+        every subformula compilation is memoized under its structural key
+        (database-independent for database-free subformulas), so repeated
+        subformulas — across queries and across sessions of the same
+        cache — are compiled once.
+    observer:
+        Optional trace observer (see :class:`repro.engine.explain.
+        TraceObserver`): ``enter(f)`` / ``exit(f, relation, seconds,
+        cached)`` around every subformula, for EXPLAIN output.
     """
 
-    def __init__(self, structure: StringStructure, database: Database, slack: int = 0):
+    def __init__(
+        self,
+        structure: StringStructure,
+        database: Database,
+        slack: int = 0,
+        cache: Optional[AutomatonCache] = None,
+        observer=None,
+    ):
         if structure.alphabet != database.alphabet:
             raise EvaluationError("structure and database alphabets differ")
         self.structure = structure
         self.database = database
         self.slack = slack
+        self.cache = cache
+        self.observer = observer
+        self._db_fingerprint: Optional[str] = None
         self._rel_cache: dict[str, RelationAutomaton] = {}
         self._atom_cache: dict[tuple, RelationAutomaton] = {}
 
@@ -106,6 +129,45 @@ class AutomataEngine:
     # ------------------------------------------------------ recursion core
 
     def _build(self, f: Formula) -> tuple[RelationAutomaton, tuple[str, ...]]:
+        """Cache/trace wrapper around :meth:`_compile` for one subformula."""
+        key = None
+        if self.cache is not None:
+            key = self._subformula_key(f)
+            hit = self.cache.get(key)
+            if hit is not None:
+                if self.observer is not None:
+                    self.observer.enter(f)
+                    self.observer.exit(f, hit[0], 0.0, cached=True)
+                return hit
+        if self.observer is not None:
+            self.observer.enter(f)
+            t0 = time.perf_counter()
+            result = self._compile(f)
+            self.observer.exit(f, result[0], time.perf_counter() - t0, cached=False)
+        else:
+            result = self._compile(f)
+        if key is not None:
+            self.cache.put(key, result)
+        return result
+
+    def _subformula_key(self, f: Formula) -> tuple:
+        """Structural cache key; database-independent for db-free formulas."""
+        if f.relation_names():
+            if self._db_fingerprint is None:
+                self._db_fingerprint = database_fingerprint(self.database)
+            fingerprint = self._db_fingerprint
+        else:
+            fingerprint = None
+        return formula_key(
+            f,
+            self.structure.name,
+            self.structure.alphabet.symbols,
+            self.slack,
+            fingerprint,
+            stage="automata",
+        )
+
+    def _compile(self, f: Formula) -> tuple[RelationAutomaton, tuple[str, ...]]:
         """Return (relation, sorted variable order) for a flattened formula."""
         alphabet = self.structure.alphabet
         if isinstance(f, TrueF):

@@ -22,6 +22,7 @@ from collections.abc import Iterator
 from typing import Optional
 
 from repro.database.instance import Database
+from repro.engine.metrics import METRICS
 from repro.errors import EvaluationError
 from repro.eval.domains import prefix_domain
 from repro.logic.transform import to_nnf
@@ -130,9 +131,13 @@ class DirectEngine:
         free = tuple(sorted(formula.free_variables()))
         kinds = self._output_kinds(formula, free, output_kind)
         tuples = set()
+        candidates = 0
         for assignment in self._assignments(free, kinds):
+            candidates += 1
             if self._eval(formula, dict(assignment)):
                 tuples.add(tuple(assignment[v] for v in free))
+        METRICS.inc("direct.candidates", candidates)
+        METRICS.inc("direct.output_tuples", len(tuples))
         relation = RelationAutomaton.from_tuples(
             self.structure.alphabet, len(free), tuples
         )
