@@ -4,7 +4,7 @@
 PY := PYTHONPATH=src python
 SMOKE_DIR := .bench-smoke
 
-.PHONY: test docs-check bench-smoke bench-full clean
+.PHONY: test docs-check bench-smoke bench-full bench-service serve-smoke clean
 
 test:
 	$(PY) -m pytest -x -q
@@ -29,6 +29,26 @@ print('bench-smoke: %d metrics files parse' % len(paths))"
 
 bench-full:
 	$(PY) -m pytest benchmarks/ --benchmark-only
+
+## Throughput/latency benchmark of the concurrent query service: an
+## 8-worker batched pool vs serial round-trips on one shared automaton
+## cache, asserting identical answers and a >1x speedup (docs/service.md).
+bench-service:
+	mkdir -p $(SMOKE_DIR)
+	$(PY) benchmarks/bench_service.py --explain-json $(SMOKE_DIR)/service.json
+
+## One NDJSON round-trip through `python -m repro serve --stdio`:
+## register a database, run a query, check the rows, exit 0 on EOF.
+serve-smoke:
+	printf '%s\n' \
+	'{"op":"register_db","id":1,"name":"main","db":{"alphabet":"01","relations":{"R":[["0110"],["001"],["11"]]}}}' \
+	'{"op":"run","id":2,"query":"R(x)","db":"main"}' \
+	| $(PY) -m repro serve --stdio \
+	| $(PY) -c "import json, sys; \
+	rs = [json.loads(line) for line in sys.stdin]; \
+	assert [r['ok'] for r in rs] == [True, True], rs; \
+	assert rs[1]['rows'] == [['001'], ['0110'], ['11']], rs; \
+	print('serve-smoke: stdio round-trip OK')"
 
 clean:
 	rm -rf $(SMOKE_DIR) .pytest_cache

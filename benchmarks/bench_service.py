@@ -1,0 +1,252 @@
+"""SRV-1: the concurrent query service — batched pool vs serial round-trips.
+
+The serving claim of ``docs/service.md``: with queries cached (plans in
+the prepared registry, automata in the shared
+:class:`~repro.engine.cache.AutomatonCache`), per-request *submit/wake
+handshakes* dominate, and an 8-worker pool fed a whole batch at once
+(:meth:`~repro.service.service.QueryService.execute_batch`) pays that
+handshake once per batch instead of once per request.  This benchmark
+measures it: the same mixed workload through
+
+* **serial** — one worker, one submit-and-wait round-trip per request
+  (the unpipelined client pattern), and
+* **batched** — eight workers sharing the same automaton cache, the
+  whole batch submitted before any wait,
+
+asserts the answers are identical request-for-request, and reports
+throughput and latency percentiles.  (On the single-core CI box the win
+is pipelining, not parallel CPU: the GIL serializes engine work, so the
+speedup band is modest — the assertion is ``batched > serial``, with the
+answer-equality check carrying the correctness half of the claim.)
+
+Standalone::
+
+    python benchmarks/bench_service.py [--smoke] [--explain-json PATH]
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.core import Query, StringDatabase
+from repro.engine import AutomatonCache
+from repro.engine.metrics import METRICS
+from repro.service import QueryService, RunRequest, ServiceConfig
+
+from _common import print_table, standalone_args, write_explain_json
+
+QUERIES = [
+    "R(x) & last(x, '0')",
+    "R(x) & last(x, '1')",
+    "R(x) & !S(x)",
+    "S(y) | R(y)",
+    "R(x) & exists adom y: S(y) & y <<= x",
+    "S(y) & exists adom x: R(x) & y <<= x",
+    "exists x: R(x) & last(x, '0')",
+    "R(x) & S(y) & y <<= x",
+]
+
+POOL_WORKERS = 8
+
+
+def make_db():
+    return StringDatabase(
+        "01",
+        {
+            "R": {"0110", "001", "11", "0101", "1001", "00110"},
+            "S": {"0", "01", "1"},
+        },
+    )
+
+
+def make_requests(copies: int) -> list:
+    return [
+        RunRequest(query=src, database="main")
+        for _ in range(copies)
+        for src in QUERIES
+    ]
+
+
+def make_service(workers: int, cache: AutomatonCache, depth: int) -> QueryService:
+    svc = QueryService(
+        ServiceConfig(workers=workers, max_pending=depth, cache=cache)
+    )
+    svc.register_database("main", make_db())
+    return svc
+
+
+def run_serial(svc, requests):
+    """One submit-and-wait round-trip per request."""
+    latencies = []
+    responses = []
+    t0 = time.perf_counter()
+    for request in requests:
+        s = time.perf_counter()
+        responses.append(svc.execute(request))
+        latencies.append(time.perf_counter() - s)
+    return time.perf_counter() - t0, responses, latencies
+
+def run_batched(svc, requests):
+    """Submit the whole batch, then collect; per-request latency is the
+    service-reported queue wait + execution time."""
+    t0 = time.perf_counter()
+    responses = svc.execute_batch(requests)
+    elapsed = time.perf_counter() - t0
+    latencies = [r.queue_seconds + r.exec_seconds for r in responses]
+    return elapsed, responses, latencies
+
+
+def percentile(values, pct):
+    ordered = sorted(values)
+    index = round(pct / 100 * (len(ordered) - 1))
+    return ordered[index]
+
+
+def check_answers(responses, expected, mode):
+    assert all(r.ok for r in responses), (
+        f"{mode}: request failed: "
+        f"{[r.error.to_dict() for r in responses if not r.ok][:3]}"
+    )
+    got = [r.rows for r in responses]
+    assert got == expected, f"{mode}: answers diverged from serial ground truth"
+
+
+def latency_row(mode, workers, n, seconds, latencies):
+    return {
+        "mode": mode,
+        "workers": workers,
+        "requests": n,
+        "median_s": seconds,
+        "req_per_s": n / seconds,
+        "p50_ms": percentile(latencies, 50) * 1000,
+        "p95_ms": percentile(latencies, 95) * 1000,
+        "p99_ms": percentile(latencies, 99) * 1000,
+    }
+
+
+# --------------------------------------------------------- pytest-benchmark
+
+
+@pytest.fixture
+def warm_services():
+    cache = AutomatonCache(maxsize=512)
+    requests = make_requests(2)
+    depth = len(requests) + POOL_WORKERS
+    serial = make_service(1, cache, depth)
+    pool = make_service(POOL_WORKERS, cache, depth)
+    run_serial(serial, requests)
+    run_batched(pool, requests)
+    yield serial, pool, requests
+    serial.close()
+    pool.close()
+
+
+def test_service_serial_roundtrips(benchmark, warm_services):
+    serial, _, requests = warm_services
+    benchmark(lambda: run_serial(serial, requests))
+
+
+def test_service_batched_pool(benchmark, warm_services):
+    _, pool, requests = warm_services
+    benchmark(lambda: run_batched(pool, requests))
+
+
+# --------------------------------------------------------------- standalone
+
+
+def main(argv=None) -> int:
+    args = standalone_args(
+        "Concurrent query service: batched 8-worker pool vs serial "
+        "round-trips on one shared automaton cache",
+        argv,
+    )
+    copies = 2 if args.smoke else 4
+    rounds = 3 if args.smoke else 5
+    requests = make_requests(copies)
+    depth = len(requests) + POOL_WORKERS
+
+    cache = AutomatonCache(maxsize=512)
+    serial_svc = make_service(1, cache, depth)
+    pool_svc = make_service(POOL_WORKERS, cache, depth)
+    METRICS.reset()
+
+    # Serial ground truth straight from the library, and a warm-up pass
+    # through each service so plans and automata are cached for both.
+    db = make_db()
+    truth = {
+        src: [list(t) for t in Query(src).run(db).rows()] for src in QUERIES
+    }
+    expected = [truth[r.query] for r in requests]
+    run_serial(serial_svc, requests)
+    run_batched(pool_svc, requests)
+
+    serial_times, batched_times = [], []
+    serial_lat, batched_lat = [], []
+    for _ in range(rounds):
+        elapsed, responses, lat = run_serial(serial_svc, requests)
+        check_answers(responses, expected, "serial")
+        serial_times.append(elapsed)
+        serial_lat.extend(lat)
+
+        elapsed, responses, lat = run_batched(pool_svc, requests)
+        check_answers(responses, expected, "batched")
+        batched_times.append(elapsed)
+        batched_lat.extend(lat)
+
+    n = len(requests)
+    rows = [
+        latency_row("serial", 1, n, statistics.median(serial_times), serial_lat),
+        latency_row("batched", POOL_WORKERS, n,
+                    statistics.median(batched_times), batched_lat),
+    ]
+    speedup = rows[1]["req_per_s"] / rows[0]["req_per_s"]
+
+    print_table(
+        f"Service throughput — {n} mixed requests x {rounds} rounds, "
+        "shared automaton cache",
+        ["mode", "workers", "req/s", "p50 ms", "p95 ms", "p99 ms"],
+        [
+            (
+                r["mode"],
+                r["workers"],
+                f"{r['req_per_s']:.0f}",
+                f"{r['p50_ms']:.3f}",
+                f"{r['p95_ms']:.3f}",
+                f"{r['p99_ms']:.3f}",
+            )
+            for r in rows
+        ],
+    )
+    print(f"\nbatched/serial speedup: {speedup:.2f}x "
+          f"(answers identical across {rounds * 2 * n} requests)")
+
+    cache_stats = cache.stats()
+    write_explain_json(
+        args.explain_json,
+        {
+            "benchmark": "bench_service",
+            "queries": QUERIES,
+            "rounds": rounds,
+            "requests_per_round": n,
+            "results": rows,
+            "speedup": speedup,
+            "cache": cache_stats,
+            "metrics": METRICS.snapshot(),
+        },
+    )
+
+    serial_svc.close()
+    pool_svc.close()
+
+    assert speedup > 1.0, (
+        f"batched pool did not beat serial round-trips ({speedup:.2f}x)"
+    )
+    assert cache_stats["hits"] > 0, "shared automaton cache saw no reuse"
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -32,8 +32,10 @@ from repro.core import (
 from repro.database import Database, Schema
 from repro.errors import (
     EvaluationError,
+    EvaluationTimeout,
     ParseError,
     ReproError,
+    ServiceError,
     SignatureError,
     UndecidableError,
     UnsafeQueryError,
@@ -50,6 +52,7 @@ __all__ = [
     "BINARY",
     "Database",
     "EvaluationError",
+    "EvaluationTimeout",
     "ParseError",
     "Query",
     "ReproError",
@@ -58,6 +61,7 @@ __all__ = [
     "S_len",
     "S_reg",
     "Schema",
+    "ServiceError",
     "SignatureError",
     "StringDatabase",
     "Table",

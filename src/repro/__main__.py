@@ -10,6 +10,7 @@ Usage::
     python -m repro safety "last(x, '0')" --db db.json
     python -m repro sql "SELECT r.1 FROM R r WHERE r.1 LIKE '0%'" --db db.json
     python -m repro language "matches(x, '(00)*')" --structure S_reg
+    python -m repro serve --stdio --db main=db.json    # NDJSON query service
 
 ``run`` auto-selects the evaluation engine through the cost-based planner
 (:mod:`repro.engine`); pass ``--engine automata|direct`` to override.
@@ -31,7 +32,7 @@ import sys
 
 from repro import Query, StringDatabase
 from repro.core.query import definable_language, language_is_star_free
-from repro.errors import ReproError, UnsafeQueryError
+from repro.errors import EvaluationTimeout, ReproError, UnsafeQueryError
 from repro.eval import DirectEngine
 from repro.sql import translate_select
 from repro.structures import by_name
@@ -101,7 +102,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     db = load_database(args.db)
     q = Query(args.query, structure=args.structure, alphabet=db.alphabet)
     _check_relations(q, db)
-    table = q.run(db, engine=_auto_engine(args.engine), limit=args.limit)
+    table = q.run(
+        db,
+        engine=_auto_engine(args.engine),
+        limit=args.limit,
+        timeout=args.timeout,
+    )
     print("\t".join(table.columns))
     for row in table:
         print("\t".join(row))
@@ -112,7 +118,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
     db = load_database(args.db)
     q = Query(args.query, structure=args.structure, alphabet=db.alphabet)
     _check_relations(q, db)
-    report = q.explain(db, engine=_auto_engine(args.engine))
+    report = q.explain(db, engine=_auto_engine(args.engine), timeout=args.timeout)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -143,6 +149,39 @@ def cmd_sql(args: argparse.Namespace) -> int:
     print("\t".join(translated.output_variables))
     for row in sorted(result.as_set()):
         print("\t".join(row[mapping[v]] for v in translated.output_variables))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the service package starts threads on construction
+    # and the other subcommands never need it.
+    from repro.service import QueryService, ServiceConfig, serve_stdio, serve_tcp
+
+    config = ServiceConfig(
+        workers=args.workers,
+        max_pending=args.queue_size,
+        backpressure=args.backpressure,
+        default_timeout=args.default_timeout,
+    )
+    service = QueryService(config)
+    for spec in args.db or []:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise ReproError(f"--db expects NAME=FILE, got {spec!r}")
+        service.register_database(name, load_database(path))
+    if args.stdio:
+        return serve_stdio(service)
+    server = serve_tcp(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"serving on {host}:{port} "
+          f"({config.workers} workers, queue {config.max_pending}, "
+          f"{config.backpressure})", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close_service()
     return 0
 
 
@@ -186,6 +225,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("--limit", type=int, default=None,
                        help="sample size for infinite outputs")
+    p_run.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; exceeded -> clean timeout error (exit 3)",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_explain = sub.add_parser(
@@ -202,6 +248,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
+    p_explain.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; exceeded -> clean timeout error (exit 3)",
+    )
     p_explain.set_defaults(func=cmd_explain)
 
     p_safety = sub.add_parser("safety", help="decide state-safety (Prop 7)")
@@ -212,6 +265,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_sql.add_argument("query")
     p_sql.add_argument("--db", required=True)
     p_sql.set_defaults(func=cmd_sql)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve queries over the NDJSON protocol (stdio or TCP)",
+    )
+    p_serve.add_argument(
+        "--stdio", action="store_true",
+        help="serve stdin/stdout as one NDJSON stream (exit 0 at EOF)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="TCP bind host")
+    p_serve.add_argument("--port", type=int, default=7455,
+                         help="TCP port (0 = ephemeral)")
+    p_serve.add_argument("--workers", type=int, default=4,
+                         help="worker pool size")
+    p_serve.add_argument("--queue-size", type=int, default=64,
+                         dest="queue_size",
+                         help="bounded admission queue length")
+    p_serve.add_argument("--backpressure", choices=["reject", "block"],
+                         default="reject",
+                         help="full-queue policy: fail fast or block submitters")
+    p_serve.add_argument("--default-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="deadline for requests that set none")
+    p_serve.add_argument("--db", action="append", default=[],
+                         metavar="NAME=FILE",
+                         help="register a database at startup (repeatable)")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_lang = sub.add_parser(
         "language", help="analyze the language a unary query defines"
@@ -228,6 +308,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except EvaluationTimeout as exc:
+        print(f"timeout: {exc}", file=sys.stderr)
+        return 3
     except UnsafeQueryError as exc:
         print(f"error: {exc} (use --limit to sample, or `safety` to inspect)",
               file=sys.stderr)

@@ -16,6 +16,8 @@ from collections import deque
 from collections.abc import Hashable, Iterable, Iterator, Sequence
 from typing import Optional
 
+from repro.engine.deadline import checkpoint
+
 Symbol = Hashable
 State = Hashable
 
@@ -202,6 +204,9 @@ class DFA:
         # Initial partition: accepting vs non-accepting.
         block_of = {q: (1 if q in total.accepting else 0) for q in states}
         while True:
+            # Each refinement round is O(n * |alphabet|); check the
+            # cooperative deadline between rounds.
+            checkpoint()
             signature = {
                 q: (block_of[q], tuple(block_of[total.transitions[q][s]] for s in syms))
                 for q in states

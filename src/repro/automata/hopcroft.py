@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import defaultdict, deque
 
 from repro.automata.dfa import DFA
+from repro.engine.deadline import checkpoint
 
 
 def hopcroft_minimize(dfa: DFA) -> DFA:
@@ -43,6 +44,7 @@ def hopcroft_minimize(dfa: DFA) -> DFA:
         (b, s) for b in range(len(blocks)) for s in syms
     )
     while worklist:
+        checkpoint()
         splitter_index, symbol = worklist.popleft()
         splitter = blocks[splitter_index]
         # Predecessors of the splitter under `symbol`.

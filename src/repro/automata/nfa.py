@@ -13,6 +13,7 @@ from collections.abc import Hashable, Iterable, Sequence
 from typing import Optional
 
 from repro.automata.dfa import DFA
+from repro.engine.deadline import checkpoint
 
 Symbol = Hashable
 State = Hashable
@@ -121,6 +122,8 @@ class NFA:
         if start & self.accepting:
             accepting.add(0)
         while queue:
+            # Subset construction can be exponential; honor deadlines.
+            checkpoint()
             subset = queue.popleft()
             sid = seen[subset]
             delta: dict[Symbol, State] = {}

@@ -6,6 +6,7 @@ from collections import deque
 from collections.abc import Callable
 
 from repro.automata.dfa import DFA
+from repro.engine.deadline import checkpoint
 from repro.engine.metrics import METRICS
 
 
@@ -34,6 +35,10 @@ def _product(left: DFA, right: DFA, keep: Callable[[bool, bool], bool]) -> DFA:
     if is_acc(start):
         accepting.add(0)
     while queue:
+        # Products are the engine's combinatorial blowup point; check the
+        # cooperative deadline once per state expanded so a request with a
+        # tight budget cannot disappear into an exponential construction.
+        checkpoint()
         pair = queue.popleft()
         sid = seen[pair]
         lq, rq = pair

@@ -25,6 +25,7 @@ from repro.automata.dfa import DFA
 from repro.database.instance import Database
 from repro.database.schema import Schema
 from repro.engine.cache import global_cache
+from repro.engine.deadline import deadline_scope
 from repro.engine.explain import Explain, execute_plan, explain_query
 from repro.engine.planner import Plan, Planner
 from repro.errors import EvaluationError
@@ -145,6 +146,7 @@ class Query:
         engine: Optional[str] = None,
         slack: Optional[int] = None,
         limit: Optional[int] = None,
+        timeout: Optional[float] = None,
     ) -> Table:
         """Evaluate and materialize the answer.
 
@@ -157,19 +159,27 @@ class Query:
         complexity for the PREFIX-collapsing calculi).  Raises
         :class:`~repro.errors.UnsafeQueryError` on infinite output unless
         a ``limit`` is given.
+
+        ``timeout`` is a wall-clock budget in seconds covering evaluation
+        *and* materialization; past it the engines cancel cooperatively
+        and raise :class:`~repro.errors.EvaluationTimeout` (see
+        :mod:`repro.engine.deadline`) instead of disappearing into a
+        pathological automata product.
         """
-        result = self.result(database, engine=engine, slack=slack)
-        if limit is not None and not result.is_finite():
-            rows = frozenset(result.tuples(limit=limit))
-        else:
-            rows = result.as_set()
-        return Table(result.variables, rows)
+        with deadline_scope(timeout):
+            result = self.result(database, engine=engine, slack=slack)
+            if limit is not None and not result.is_finite():
+                rows = frozenset(result.tuples(limit=limit))
+            else:
+                rows = result.as_set()
+            return Table(result.variables, rows)
 
     def result(
         self,
         database: Union[StringDatabase, Database],
         engine: Optional[str] = None,
         slack: Optional[int] = None,
+        timeout: Optional[float] = None,
     ) -> QueryResult:
         """Evaluate, returning the (possibly infinite) :class:`QueryResult`.
 
@@ -185,6 +195,9 @@ class Query:
         ``2^quantifier_rank``; see :func:`repro.eval.collapse.
         default_slack`).
 
+        ``timeout`` bounds planning plus evaluation in wall-clock seconds,
+        raising :class:`~repro.errors.EvaluationTimeout` once exceeded.
+
         Compiled automata are memoized in the session-wide
         :func:`~repro.engine.cache.global_cache`, so repeated runs (and
         shared subformulas) are cheap; ``Query.explain(db)`` reports the
@@ -192,8 +205,11 @@ class Query:
         """
         db = database.db if isinstance(database, StringDatabase) else database
         force = None if engine in (None, "auto") else engine
-        plan = Planner(self.structure, db).plan(self.formula, slack=slack, force=force)
-        return execute_plan(plan, db, cache=global_cache())
+        with deadline_scope(timeout):
+            plan = Planner(self.structure, db).plan(
+                self.formula, slack=slack, force=force
+            )
+            return execute_plan(plan, db, cache=global_cache())
 
     def plan(
         self,
@@ -211,6 +227,7 @@ class Query:
         database: Union[StringDatabase, Database],
         engine: Optional[str] = None,
         slack: Optional[int] = None,
+        timeout: Optional[float] = None,
     ) -> Explain:
         """Run with tracing and return the annotated EXPLAIN report.
 
@@ -218,11 +235,13 @@ class Query:
         tree annotated with per-node wall time and automaton state /
         transition counts, the metrics-counter delta of this run, and the
         automaton-cache statistics.  See ``docs/explain_and_metrics.md``.
+        ``timeout`` bounds the traced run like :meth:`run`'s.
         """
         db = database.db if isinstance(database, StringDatabase) else database
         force = None if engine in (None, "auto") else engine
         return explain_query(
-            self.formula, self.structure, db, engine=force, slack=slack
+            self.formula, self.structure, db, engine=force, slack=slack,
+            timeout=timeout,
         )
 
     def decide(self, database: Union[StringDatabase, Database]) -> bool:

@@ -12,6 +12,10 @@ two evaluators in :mod:`repro.eval`.  It contains:
 * :mod:`repro.engine.metrics` — the process-wide counters registry
   (automata products/complements/projections, cache hits, engine wall
   time, planner decisions);
+* :mod:`repro.engine.deadline` — cooperative per-request deadlines
+  (``Query.run(db, timeout=...)`` and the query service's per-request
+  budgets); the automata hot loops and both engines call its
+  :func:`~repro.engine.deadline.checkpoint`;
 * :mod:`repro.engine.explain` — EXPLAIN plan trees with per-node timings
   and automaton sizes, surfaced as ``Query.explain(db)`` and the
   ``python -m repro explain`` CLI subcommand.
@@ -59,18 +63,28 @@ from repro.engine.cache import (
     formula_key,
     global_cache,
 )
+from repro.engine.deadline import (
+    Deadline,
+    checkpoint,
+    current_deadline,
+    deadline_scope,
+)
 from repro.engine.metrics import METRICS, MetricsRegistry
 
 __all__ = [
     "METRICS",
     "AutomatonCache",
+    "Deadline",
     "Explain",
     "ExplainNode",
     "MetricsRegistry",
     "Plan",
     "PlanNode",
     "Planner",
+    "checkpoint",
+    "current_deadline",
     "database_fingerprint",
+    "deadline_scope",
     "execute_plan",
     "explain_query",
     "formula_key",

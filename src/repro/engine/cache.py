@@ -17,7 +17,13 @@ the session-wide store that makes repeated work free:
   and shared across every database;
 * the store is **LRU-bounded** (default 256 entries) and counts hits /
   misses / evictions both locally and in :data:`repro.engine.metrics.
-  METRICS` (``cache.hits`` / ``cache.misses`` / ``cache.evictions``).
+  METRICS` (``cache.hits`` / ``cache.misses`` / ``cache.evictions``);
+* the store is **thread-safe**: the query service shares one cache across
+  its whole worker pool, so lookups, insertions, and LRU eviction hold an
+  internal lock.  Values must be immutable (they are handed back to
+  concurrent readers without copying); concurrent misses on the same key
+  may build the same automaton twice, in which case the last ``put`` wins
+  — wasted work, never a wrong answer.
 
 Usage::
 
@@ -34,6 +40,7 @@ Stdlib-only on purpose: importable from any layer without cycles.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Optional
 
@@ -51,7 +58,7 @@ class AutomatonCache:
     they must be immutable, since hits hand back the stored object.
     """
 
-    __slots__ = ("maxsize", "_data", "hits", "misses", "evictions")
+    __slots__ = ("maxsize", "_data", "hits", "misses", "evictions", "_lock")
 
     def __init__(self, maxsize: int = DEFAULT_MAXSIZE):
         if maxsize < 1:
@@ -61,31 +68,34 @@ class AutomatonCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------ access
 
     def get(self, key: Hashable) -> Optional[Any]:
         """The cached value for ``key``, or ``None`` (counts hit/miss)."""
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            METRICS.inc("cache.misses")
-            return None
-        self._data.move_to_end(key)
-        self.hits += 1
-        METRICS.inc("cache.hits")
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                METRICS.inc("cache.misses")
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            METRICS.inc("cache.hits")
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Store ``value`` under ``key``, evicting the LRU entry if full."""
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        if len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-            self.evictions += 1
-            METRICS.inc("cache.evictions")
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            if len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                METRICS.inc("cache.evictions")
 
     def get_or_build(self, key: Hashable, builder) -> Any:
         """Cached value for ``key``, calling ``builder()`` on a miss."""
@@ -98,36 +108,41 @@ class AutomatonCache:
     # ---------------------------------------------------------- management
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def stats(self) -> dict[str, int]:
         """Hit/miss/eviction counters plus current occupancy."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "size": len(self._data),
-            "maxsize": self.maxsize,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+            }
 
     def clear(self) -> None:
         """Drop every entry (counters are kept; see :meth:`reset`)."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def reset(self) -> None:
         """Drop entries *and* zero the counters."""
-        self.clear()
-        self.hits = self.misses = self.evictions = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = self.misses = self.evictions = 0
 
     def resize(self, maxsize: int) -> None:
         """Change capacity, evicting LRU entries if shrinking."""
         if maxsize < 1:
             raise ValueError("cache maxsize must be >= 1")
-        self.maxsize = maxsize
-        while len(self._data) > maxsize:
-            self._data.popitem(last=False)
-            self.evictions += 1
-            METRICS.inc("cache.evictions")
+        with self._lock:
+            self.maxsize = maxsize
+            while len(self._data) > maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                METRICS.inc("cache.evictions")
 
     def __repr__(self) -> str:
         return f"AutomatonCache({self.stats()})"

@@ -42,6 +42,7 @@ from repro.engine.cache import (
     formula_key,
     global_cache,
 )
+from repro.engine.deadline import deadline_scope
 from repro.engine.metrics import METRICS
 from repro.engine.planner import Plan, Planner
 from repro.eval.result import QueryResult
@@ -251,16 +252,23 @@ def explain_query(
     engine: Optional[str] = None,
     slack: Optional[int] = None,
     cache: Optional[AutomatonCache] = None,
+    timeout: Optional[float] = None,
 ) -> Explain:
-    """Plan, execute with tracing, and report (see module docstring)."""
+    """Plan, execute with tracing, and report (see module docstring).
+
+    ``timeout`` bounds the traced run in wall-clock seconds via
+    :mod:`repro.engine.deadline`, raising
+    :class:`~repro.errors.EvaluationTimeout` once exceeded.
+    """
     if cache is None:
         cache = global_cache()
-    plan = Planner(structure, database).plan(formula, slack=slack, force=engine)
-    observer = TraceObserver() if plan.engine == "automata" else None
-    before = METRICS.snapshot()
-    t0 = time.perf_counter()
-    result = execute_plan(plan, database, cache=cache, observer=observer)
-    seconds = time.perf_counter() - t0
+    with deadline_scope(timeout):
+        plan = Planner(structure, database).plan(formula, slack=slack, force=engine)
+        observer = TraceObserver() if plan.engine == "automata" else None
+        before = METRICS.snapshot()
+        t0 = time.perf_counter()
+        result = execute_plan(plan, database, cache=cache, observer=observer)
+        seconds = time.perf_counter() - t0
     counters = metrics_mod.delta(before, METRICS.snapshot())
     if observer is not None and observer.root is not None:
         root = observer.root

@@ -23,6 +23,7 @@ these counters.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 
@@ -31,21 +32,25 @@ class MetricsRegistry:
     """Named monotonically-increasing counters and accumulated timers.
 
     Counters are plain integers (or floats for ``*.seconds`` entries);
-    there is no sampling and no locking — the library is single-threaded
-    per registry, and the GIL makes ``dict`` increments atomic enough for
-    observability purposes.
+    there is no sampling.  The registry is **thread-safe**: the query
+    service (:mod:`repro.service`) runs evaluations on a worker pool and
+    every increment is a read-modify-write, so a lock guards the counter
+    dict — increments from concurrent workers are never lost and
+    :meth:`snapshot` is an atomic point-in-time copy.
     """
 
-    __slots__ = ("_values",)
+    __slots__ = ("_values", "_lock")
 
     def __init__(self) -> None:
         self._values: dict[str, float] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------ recording
 
     def inc(self, name: str, amount: float = 1) -> None:
         """Increment counter ``name`` by ``amount`` (creating it at 0)."""
-        self._values[name] = self._values.get(name, 0) + amount
+        with self._lock:
+            self._values[name] = self._values.get(name, 0) + amount
 
     def add_time(self, name: str, seconds: float) -> None:
         """Accumulate wall-clock ``seconds`` under ``name`` (``*.seconds``)."""
@@ -63,15 +68,18 @@ class MetricsRegistry:
     # ------------------------------------------------------------- reading
 
     def get(self, name: str) -> float:
-        return self._values.get(name, 0)
+        with self._lock:
+            return self._values.get(name, 0)
 
     def snapshot(self) -> dict[str, float]:
         """A point-in-time copy of every counter (JSON-serializable)."""
-        return dict(self._values)
+        with self._lock:
+            return dict(self._values)
 
     def reset(self) -> None:
         """Zero every counter (fresh measurement window)."""
-        self._values.clear()
+        with self._lock:
+            self._values.clear()
 
 
 def delta(before: dict[str, float], after: dict[str, float]) -> dict[str, float]:

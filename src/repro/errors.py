@@ -60,6 +60,48 @@ class UnsafeQueryError(EvaluationError):
     """
 
 
+class EvaluationTimeout(EvaluationError):
+    """Evaluation exceeded its deadline and was cooperatively cancelled.
+
+    Raised from the checkpoints threaded through both engines and the
+    automata hot loops (see :mod:`repro.engine.deadline`) when a
+    ``timeout=`` was requested on :meth:`repro.core.query.Query.run` or a
+    per-request deadline was set by the query service.  The work done so
+    far is discarded; the request is safe to retry (possibly with a larger
+    budget).
+
+    Attributes
+    ----------
+    timeout:
+        The requested budget in seconds (``None`` if the deadline was
+        constructed from an absolute expiry).
+    elapsed:
+        Seconds actually spent before the checkpoint fired.
+    """
+
+    def __init__(self, message: str, timeout: "float | None" = None,
+                 elapsed: "float | None" = None):
+        super().__init__(message)
+        self.timeout = timeout
+        self.elapsed = elapsed
+
+
+class ServiceError(ReproError):
+    """Base class for query-service request failures (repro.service)."""
+
+
+class QueueFullError(ServiceError):
+    """Admission control rejected a request: the bounded queue is full.
+
+    Raised only under ``backpressure="reject"``; the request was never
+    enqueued, so it is always safe to retry after backing off.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """The service is draining or shut down and accepts no new requests."""
+
+
 class ArityError(ReproError):
     """A relation was used with the wrong number of arguments."""
 

@@ -36,6 +36,7 @@ from typing import Optional
 from repro.automatic.relation import RelationAutomaton
 from repro.database.instance import Database
 from repro.engine.cache import AutomatonCache, database_fingerprint, formula_key
+from repro.engine.deadline import checkpoint
 from repro.engine.metrics import METRICS
 from repro.errors import EvaluationError
 from repro.eval.domains import (
@@ -130,6 +131,7 @@ class AutomataEngine:
 
     def _build(self, f: Formula) -> tuple[RelationAutomaton, tuple[str, ...]]:
         """Cache/trace wrapper around :meth:`_compile` for one subformula."""
+        checkpoint()  # cooperative deadline, once per subformula
         key = None
         if self.cache is not None:
             key = self._subformula_key(f)

@@ -22,6 +22,7 @@ from collections.abc import Iterator
 from typing import Optional
 
 from repro.database.instance import Database
+from repro.engine.deadline import checkpoint
 from repro.engine.metrics import METRICS
 from repro.errors import EvaluationError
 from repro.eval.domains import prefix_domain
@@ -89,6 +90,9 @@ class DirectEngine:
         self._adom_prefix_part: list[str] | None = None
         self._length_lists: dict[int, list[str]] = {}
         self._context_cache: dict[int, tuple[frozenset[str], object]] = {}
+        # Strided deadline checks: per-candidate work is tiny, so checking
+        # the clock on every enumeration step would dominate it.
+        self._tick = 0
 
     # -------------------------------------------------------------- public
 
@@ -134,6 +138,7 @@ class DirectEngine:
         candidates = 0
         for assignment in self._assignments(free, kinds):
             candidates += 1
+            self._checkpoint()
             if self._eval(formula, dict(assignment)):
                 tuples.add(tuple(assignment[v] for v in free))
         METRICS.inc("direct.candidates", candidates)
@@ -208,6 +213,7 @@ class DirectEngine:
             saved = assignment.get(f.var, sentinel)
             try:
                 for value in self._quantifier_domain(f, assignment):
+                    self._checkpoint()
                     assignment[f.var] = value
                     if self._eval(f.body, assignment):
                         return True
@@ -222,6 +228,7 @@ class DirectEngine:
             saved = assignment.get(f.var, sentinel)
             try:
                 for value in self._quantifier_domain(f, assignment):
+                    self._checkpoint()
                     assignment[f.var] = value
                     if not self._eval(f.body, assignment):
                         return False
@@ -232,6 +239,12 @@ class DirectEngine:
                 else:
                     assignment[f.var] = saved
         raise EvaluationError(f"cannot evaluate formula node {f!r}")
+
+    def _checkpoint(self) -> None:
+        """Cooperative deadline check, every 128th enumeration step."""
+        self._tick += 1
+        if not self._tick & 127:
+            checkpoint()
 
     # ------------------------------------------------------------- domains
 

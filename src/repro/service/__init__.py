@@ -1,0 +1,44 @@
+"""repro.service — the concurrent query service on top of the engine core.
+
+The serving tier added in PR 2 (see ``docs/service.md``):
+
+* :mod:`repro.service.service` — :class:`QueryService`: named-database
+  registry, prepared queries, a bounded worker pool with admission
+  control, per-request cooperative deadlines, structured retryable
+  errors, graceful drain;
+* :mod:`repro.service.protocol` — the NDJSON request/response protocol;
+* :mod:`repro.service.server` — stdio and TCP transports
+  (``python -m repro serve``);
+* :mod:`repro.service.client` — a blocking TCP client for tests,
+  benchmarks, and scripts.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.protocol import PROTOCOL_VERSION, Dispatcher, ProtocolError
+from repro.service.server import TCPQueryServer, serve_stdio, serve_tcp
+from repro.service.service import (
+    ErrorInfo,
+    PreparedQuery,
+    QueryService,
+    RunRequest,
+    ServiceConfig,
+    ServiceResponse,
+    classify_error,
+)
+
+__all__ = [
+    "Dispatcher",
+    "ErrorInfo",
+    "PROTOCOL_VERSION",
+    "PreparedQuery",
+    "ProtocolError",
+    "QueryService",
+    "RunRequest",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceResponse",
+    "TCPQueryServer",
+    "classify_error",
+    "serve_stdio",
+    "serve_tcp",
+]

@@ -1,0 +1,130 @@
+"""A blocking NDJSON-over-TCP client for the query service.
+
+Used by the tests and ``benchmarks/bench_service.py``; also a reference
+for speaking the protocol from anything that can write JSON lines to a
+socket.  One client holds one connection and runs one request at a time
+(a lock serializes callers); open several clients for concurrency — the
+server multiplexes them onto its single worker pool.
+
+Usage::
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient("127.0.0.1", port) as client:
+        client.register_db("main", "01", {"R": [["0110"], ["001"]]})
+        resp = client.run("R(x) & last(x, '0')", db="main", timeout_ms=500)
+        resp["ok"], resp["rows"]        # True, [["0110"]]
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+import threading
+from typing import Any, Optional
+
+from repro.errors import ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """See module docstring.  Raises :class:`~repro.errors.ServiceError`
+    on transport failures; protocol-level errors come back as structured
+    ``{"ok": false, "error": ...}`` responses, not exceptions."""
+
+    def __init__(self, host: str, port: int, timeout: Optional[float] = 30.0):
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot connect to query service at {host}:{port}: {exc}"
+            ) from None
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------ transport
+
+    def request(self, payload: dict) -> dict:
+        """Send one request object (an ``id`` is added) and await its reply."""
+        body = dict(payload)
+        body.setdefault("id", next(self._ids))
+        data = (json.dumps(body) + "\n").encode("utf-8")
+        with self._lock:
+            try:
+                self._file.write(data)
+                self._file.flush()
+                raw = self._file.readline()
+            except OSError as exc:
+                raise ServiceError(f"query service connection failed: {exc}") from None
+        if not raw:
+            raise ServiceError("query service closed the connection")
+        response = json.loads(raw.decode("utf-8"))
+        if response.get("id") != body["id"]:
+            raise ServiceError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {body['id']!r}"
+            )
+        return response
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ----------------------------------------------------------------- ops
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def register_db(
+        self, name: str, alphabet: str, relations: dict[str, list]
+    ) -> dict:
+        return self.request({
+            "op": "register_db",
+            "name": name,
+            "db": {"alphabet": alphabet, "relations": relations},
+        })
+
+    def list_dbs(self) -> dict:
+        return self.request({"op": "list_dbs"})
+
+    def prepare(self, query: str, structure: str = "S") -> dict:
+        return self.request({
+            "op": "prepare", "query": query, "structure": structure,
+        })
+
+    def run(
+        self,
+        query: Optional[str] = None,
+        db: str = "main",
+        prepared: Optional[str] = None,
+        **options: Any,
+    ) -> dict:
+        """``run`` with query text or a ``prepared`` handle id; extra
+        keywords (``structure``, ``engine``, ``slack``, ``limit``,
+        ``timeout_ms``) pass through to the protocol."""
+        body: dict[str, Any] = {"op": "run", "db": db, **options}
+        if prepared is not None:
+            body["prepared"] = prepared
+        else:
+            body["query"] = query
+        return self.request(body)
+
+    def batch(self, requests: list[dict]) -> dict:
+        return self.request({"op": "batch", "requests": requests})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def shutdown(self, drain: bool = True) -> dict:
+        return self.request({"op": "shutdown", "drain": drain})

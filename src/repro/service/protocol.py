@@ -1,0 +1,248 @@
+"""The NDJSON wire protocol: one JSON request per line, one response per line.
+
+Every request is a JSON object with an ``"op"`` and an optional ``"id"``
+(echoed verbatim on the response, so clients can pipeline).  Every
+response is ``{"id": ..., "ok": true, ...}`` on success or
+``{"id": ..., "ok": false, "error": {"code", "message", "retryable"}}``
+on failure — the server never emits a traceback.  The protocol is
+transport-agnostic; :mod:`repro.service.server` runs it over stdio and
+TCP, and :mod:`repro.service.client` speaks it from Python.
+
+Operations
+----------
+
+``ping``
+    ``{"op": "ping"}`` → ``{"pong": true, "version": 1}``.
+``register_db``
+    ``{"op": "register_db", "name": "main", "db": {"alphabet": "01",
+    "relations": {"R": [["0110"], ["001"]]}}}`` → the fingerprint.  Same
+    JSON shape as ``--db`` files.
+``list_dbs``
+    → ``{"databases": [...]}``.
+``prepare``
+    ``{"op": "prepare", "query": "R(x)", "structure": "S"}`` → a handle id
+    (``{"prepared": "p1", ...}``) usable in later ``run``/``batch`` items.
+``run``
+    ``{"op": "run", "query": "R(x)", "db": "main"}`` (or ``"prepared":
+    "p1"`` instead of ``"query"``) plus optional ``structure``, ``engine``,
+    ``slack``, ``limit``, and ``timeout_ms`` — the per-request deadline,
+    counted from admission.  → columns/rows/engine/finite + timings.
+``batch``
+    ``{"op": "batch", "requests": [<run bodies>]}`` — items fan out
+    across the worker pool concurrently; the ``results`` list keeps
+    request order and holds one per-item response body each (a malformed
+    or rejected item gets a structured error in its slot).
+``stats``
+    → ``{"stats": {...}}`` (workers, queue depth, cache + service counters).
+``shutdown``
+    ``{"op": "shutdown", "drain": true}`` — acknowledge, then stop the
+    server; ``drain`` decides whether queued requests finish or fail.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from typing import Any, Optional
+
+from repro.core.query import StringDatabase
+from repro.errors import ServiceError
+from repro.service.service import (
+    PreparedQuery,
+    QueryService,
+    RunRequest,
+    ServiceResponse,
+    classify_error,
+)
+
+__all__ = ["Dispatcher", "PROTOCOL_VERSION", "ProtocolError"]
+
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ServiceError):
+    """A request line the protocol cannot make sense of (not retryable)."""
+
+
+def _require_str(obj: dict, key: str) -> str:
+    value = obj.get(key)
+    if not isinstance(value, str):
+        raise ProtocolError(f'request needs a string "{key}" field')
+    return value
+
+
+def _optional_number(obj: dict, key: str) -> Optional[float]:
+    value = obj.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f'"{key}" must be a number')
+    return float(value)
+
+
+class Dispatcher:
+    """Maps decoded protocol requests onto a :class:`QueryService`.
+
+    One dispatcher serves a whole server (all TCP connections share it),
+    so prepared-query handles are registered under a locked counter and a
+    handle created on one connection is usable from another.
+    """
+
+    def __init__(self, service: QueryService, allow_shutdown: bool = True):
+        self.service = service
+        self.allow_shutdown = allow_shutdown
+        self.shutdown_drain = True
+        self._prepared: dict[str, PreparedQuery] = {}
+        self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- plumbing
+
+    def handle_line(self, line: str) -> tuple[Optional[str], bool]:
+        """One request line in, one encoded response line (or ``None`` for
+        blank input) out, plus a shutdown flag."""
+        line = line.strip()
+        if not line:
+            return None, False
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            error = classify_error(ProtocolError(f"request is not valid JSON: {exc}"))
+            return (
+                json.dumps({"id": None, "ok": False, "error": error.to_dict()}),
+                False,
+            )
+        response, shutdown = self.handle(obj)
+        return json.dumps(response), shutdown
+
+    def handle(self, obj: Any) -> tuple[dict, bool]:
+        """Dispatch one decoded request; never raises."""
+        request_id = obj.get("id") if isinstance(obj, dict) else None
+        try:
+            if not isinstance(obj, dict):
+                raise ProtocolError("request must be a JSON object")
+            op = obj.get("op")
+            if not isinstance(op, str):
+                raise ProtocolError('request needs a string "op" field')
+            handler = getattr(self, f"_op_{op}", None)
+            if handler is None:
+                known = sorted(
+                    name[4:] for name in dir(self) if name.startswith("_op_")
+                )
+                raise ProtocolError(
+                    f"unknown op {op!r} (known: {', '.join(known)})"
+                )
+            body, shutdown = handler(obj)
+        except Exception as exc:
+            body, shutdown = (
+                {"ok": False, "error": classify_error(exc).to_dict()},
+                False,
+            )
+        response = {"id": request_id}
+        response.update(body)
+        response.setdefault("ok", True)
+        return response, shutdown
+
+    # ------------------------------------------------------------------ ops
+
+    def _op_ping(self, obj: dict) -> tuple[dict, bool]:
+        return {"pong": True, "version": PROTOCOL_VERSION}, False
+
+    def _op_register_db(self, obj: dict) -> tuple[dict, bool]:
+        name = _require_str(obj, "name")
+        spec = obj.get("db")
+        if not isinstance(spec, dict):
+            raise ProtocolError(
+                '"db" must be an object {"alphabet": ..., "relations": ...}'
+            )
+        relations_spec = spec.get("relations", {})
+        if not isinstance(relations_spec, dict):
+            raise ProtocolError('"relations" must map names to row lists')
+        relations = {}
+        for rel, rows in relations_spec.items():
+            if not isinstance(rows, list):
+                raise ProtocolError(f"relation {rel!r} must be a list of rows")
+            relations[rel] = [
+                (row,) if isinstance(row, str) else tuple(row) for row in rows
+            ]
+        db = StringDatabase(spec.get("alphabet", "01"), relations)
+        fingerprint = self.service.register_database(name, db)
+        return {"name": name, "fingerprint": fingerprint}, False
+
+    def _op_list_dbs(self, obj: dict) -> tuple[dict, bool]:
+        return {"databases": self.service.database_names()}, False
+
+    def _op_prepare(self, obj: dict) -> tuple[dict, bool]:
+        query = _require_str(obj, "query")
+        structure = obj.get("structure", "S")
+        handle = self.service.prepare(query, structure)
+        with self._lock:
+            pid = f"p{next(self._counter)}"
+            self._prepared[pid] = handle
+        return {
+            "prepared": pid,
+            "variables": sorted(handle.formula.free_variables()),
+        }, False
+
+    def _op_run(self, obj: dict) -> tuple[dict, bool]:
+        response = self.service.execute(self._request_from(obj))
+        return response.to_dict(), False
+
+    def _op_batch(self, obj: dict) -> tuple[dict, bool]:
+        items = obj.get("requests")
+        if not isinstance(items, list):
+            raise ProtocolError('"requests" must be a list of run bodies')
+        # Malformed items get a structured error in their slot; the
+        # well-formed rest still fans out across the pool together.
+        parsed: list[Any] = []
+        for item in items:
+            try:
+                if not isinstance(item, dict):
+                    raise ProtocolError("batch items must be objects")
+                parsed.append(self._request_from(item))
+            except Exception as exc:
+                parsed.append(
+                    {"ok": False, "error": classify_error(exc).to_dict()}
+                )
+        runnable = [p for p in parsed if isinstance(p, RunRequest)]
+        responses = iter(self.service.execute_batch(runnable))
+        results = [
+            next(responses).to_dict() if isinstance(p, RunRequest) else p
+            for p in parsed
+        ]
+        return {"results": results}, False
+
+    def _op_stats(self, obj: dict) -> tuple[dict, bool]:
+        return {"stats": self.service.stats()}, False
+
+    def _op_shutdown(self, obj: dict) -> tuple[dict, bool]:
+        if not self.allow_shutdown:
+            raise ProtocolError("shutdown is disabled on this server")
+        self.shutdown_drain = bool(obj.get("drain", True))
+        return {"closing": True, "drain": self.shutdown_drain}, True
+
+    # -------------------------------------------------------------- helpers
+
+    def _request_from(self, obj: dict) -> RunRequest:
+        if "prepared" in obj:
+            pid = _require_str(obj, "prepared")
+            with self._lock:
+                query = self._prepared.get(pid)
+            if query is None:
+                raise ProtocolError(f"unknown prepared query {pid!r}")
+        else:
+            query = _require_str(obj, "query")
+        timeout_ms = _optional_number(obj, "timeout_ms")
+        limit = obj.get("limit")
+        if limit is not None and (isinstance(limit, bool) or not isinstance(limit, int)):
+            raise ProtocolError('"limit" must be an integer')
+        return RunRequest(
+            query=query,
+            database=_require_str(obj, "db"),
+            structure=obj.get("structure", "S"),
+            engine=obj.get("engine"),
+            slack=obj.get("slack"),
+            limit=limit,
+            timeout=timeout_ms / 1000.0 if timeout_ms is not None else None,
+        )

@@ -1,0 +1,105 @@
+"""Transports for the NDJSON protocol: a stdio loop and a TCP server.
+
+``python -m repro serve --stdio`` runs :func:`serve_stdio` — one request
+per stdin line, one response per stdout line, exit 0 on EOF or a
+``shutdown`` op.  That shape makes the service scriptable::
+
+    echo '{"op": "ping"}' | python -m repro serve --stdio
+
+``python -m repro serve --port N`` runs a :class:`TCPQueryServer` — a
+``ThreadingTCPServer`` where each connection gets a reader thread but all
+query execution funnels through the *one* shared
+:class:`~repro.service.service.QueryService` pool, so worker count and
+queue bounds hold regardless of how many clients connect.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import sys
+import threading
+from typing import Optional
+
+from repro.service.protocol import Dispatcher
+from repro.service.service import QueryService
+
+__all__ = ["TCPQueryServer", "serve_stdio", "serve_tcp"]
+
+
+def serve_stdio(service: QueryService, stdin=None, stdout=None) -> int:
+    """Serve one NDJSON stream; returns 0 on EOF or ``shutdown``.
+
+    The service is closed (draining by default; a ``shutdown`` op may ask
+    otherwise) before returning, so a clean EOF leaves no worker threads
+    behind.
+    """
+    stdin = sys.stdin if stdin is None else stdin
+    stdout = sys.stdout if stdout is None else stdout
+    dispatcher = Dispatcher(service)
+    try:
+        for line in stdin:
+            out, shutdown = dispatcher.handle_line(line)
+            if out is not None:
+                stdout.write(out + "\n")
+                stdout.flush()
+            if shutdown:
+                break
+    finally:
+        service.close(drain=dispatcher.shutdown_drain)
+    return 0
+
+
+class _ConnectionHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        dispatcher = self.server.dispatcher  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            out, shutdown = dispatcher.handle_line(raw.decode("utf-8"))
+            if out is not None:
+                self.wfile.write((out + "\n").encode("utf-8"))
+                self.wfile.flush()
+            if shutdown:
+                self.server.begin_shutdown()  # type: ignore[attr-defined]
+                return
+
+
+class TCPQueryServer(socketserver.ThreadingTCPServer):
+    """The NDJSON protocol over TCP; all connections share one dispatcher
+    (and therefore one worker pool, queue bound, and prepared registry)."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: QueryService,
+        allow_shutdown: bool = True,
+    ):
+        super().__init__(address, _ConnectionHandler)
+        self.service = service
+        self.dispatcher = Dispatcher(service, allow_shutdown=allow_shutdown)
+
+    def begin_shutdown(self) -> None:
+        # ``shutdown()`` blocks until serve_forever() exits, so it must run
+        # off the connection thread that received the request.
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+    def close_service(self) -> None:
+        """Drain (or not, per the shutdown request) and release the port."""
+        self.service.close(drain=self.dispatcher.shutdown_drain)
+        self.server_close()
+
+
+def serve_tcp(
+    service: QueryService, host: str = "127.0.0.1", port: int = 0
+) -> TCPQueryServer:
+    """Bind a :class:`TCPQueryServer` (``port=0`` picks an ephemeral one).
+
+    The caller owns the loop::
+
+        server = serve_tcp(service, port=0)
+        print(server.server_address)
+        server.serve_forever()      # returns after a shutdown op
+        server.close_service()
+    """
+    return TCPQueryServer((host, port), service)

@@ -1,0 +1,633 @@
+"""The concurrent query service: worker pool, deadlines, admission control.
+
+:class:`QueryService` turns the single-call library (``Query.run(db)``)
+into a serving tier on top of the PR 1 engine core:
+
+* a **named-database registry** — databases are registered once under a
+  name and fingerprinted (:func:`repro.engine.cache.database_fingerprint`),
+  so requests refer to ``"main"`` instead of shipping relations;
+* **prepared queries** — :meth:`QueryService.prepare` parses a query once
+  and caches the planner's decision per (database fingerprint, engine,
+  slack); repeated executions skip parsing and planning entirely and share
+  the compiled automata through the session-wide
+  :class:`~repro.engine.cache.AutomatonCache` (which is thread-safe);
+* a **worker pool** — a fixed set of threads executing requests pulled
+  from a bounded queue; single requests and batches run concurrently;
+* **per-request deadlines** — a request's budget starts at submission
+  (queue wait counts) and is enforced cooperatively by the checkpoint
+  hooks threaded through both engines (:mod:`repro.engine.deadline`), so
+  a 1 ms deadline against a pathological automata product returns a
+  structured timeout instead of hanging a worker forever;
+* **admission control** — when the queue is full, ``backpressure="reject"``
+  fails fast with a retryable *overloaded* error and
+  ``backpressure="block"`` makes the submitter wait (up to the request's
+  own deadline);
+* **structured errors** — workers never leak tracebacks; every failure is
+  classified into an :class:`ErrorInfo` with a stable ``code`` and a
+  ``retryable`` flag (``timeout``/``overloaded``/``unavailable`` are
+  retryable, ``parse``/``invalid``/``unsafe``/``internal`` are not);
+* **graceful shutdown** — :meth:`QueryService.close` stops admission and
+  either drains the queue or cancels pending requests with a retryable
+  *unavailable* error.
+
+The wire protocol on top of this lives in :mod:`repro.service.protocol`
+and :mod:`repro.service.server`; tuning knobs are documented in
+``docs/service.md``.
+
+Usage::
+
+    from repro.service import QueryService, RunRequest
+
+    svc = QueryService(workers=8)
+    svc.register_database("main", StringDatabase("01", {"R": {"01", "0110"}}))
+    resp = svc.execute(RunRequest(query="R(x)", database="main", timeout=0.5))
+    resp.ok, resp.rows          # True, [["01"], ["0110"]]
+    svc.close()
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Optional, Union
+
+from repro.core.query import Query, StringDatabase
+from repro.database.instance import Database
+from repro.engine.cache import AutomatonCache, database_fingerprint, global_cache
+from repro.engine.deadline import Deadline, deadline_scope
+from repro.engine.explain import execute_plan
+from repro.engine.metrics import METRICS
+from repro.engine.planner import Plan, Planner
+from repro.errors import (
+    EvaluationTimeout,
+    ParseError,
+    QueueFullError,
+    ReproError,
+    ServiceClosedError,
+    ServiceError,
+    UnsafeQueryError,
+)
+from repro.logic.parser import parse_formula
+from repro.strings.alphabet import Alphabet
+
+__all__ = [
+    "ErrorInfo",
+    "PreparedQuery",
+    "QueryService",
+    "RunRequest",
+    "ServiceConfig",
+    "ServiceResponse",
+    "classify_error",
+]
+
+
+# ------------------------------------------------------------------- results
+
+
+#: Error codes whose requests are safe to retry (possibly after backoff).
+RETRYABLE_CODES = frozenset({"timeout", "overloaded", "unavailable"})
+
+
+@dataclass(frozen=True)
+class ErrorInfo:
+    """A structured, wire-serializable request failure."""
+
+    code: str            # timeout | overloaded | unavailable | parse |
+                         # invalid | unsafe | internal
+    message: str
+    retryable: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "retryable": self.retryable,
+        }
+
+
+def classify_error(exc: BaseException) -> ErrorInfo:
+    """Map an exception to its structured error (never leaks a traceback).
+
+    The mapping is ordered most-specific-first; anything the library did
+    not anticipate becomes a non-retryable ``internal`` error carrying
+    only the exception's message.
+    """
+    if isinstance(exc, EvaluationTimeout):
+        return ErrorInfo("timeout", str(exc), retryable=True)
+    if isinstance(exc, QueueFullError):
+        return ErrorInfo("overloaded", str(exc), retryable=True)
+    if isinstance(exc, ServiceClosedError):
+        return ErrorInfo("unavailable", str(exc), retryable=True)
+    if isinstance(exc, ParseError):
+        return ErrorInfo("parse", str(exc), retryable=False)
+    if isinstance(exc, UnsafeQueryError):
+        return ErrorInfo("unsafe", str(exc), retryable=False)
+    if isinstance(exc, ReproError):
+        return ErrorInfo("invalid", str(exc), retryable=False)
+    return ErrorInfo("internal", f"{type(exc).__name__}: {exc}", retryable=False)
+
+
+@dataclass
+class ServiceResponse:
+    """The outcome of one request: either a table or a structured error."""
+
+    ok: bool
+    columns: Optional[list[str]] = None
+    rows: Optional[list[list[str]]] = None
+    engine: Optional[str] = None
+    finite: Optional[bool] = None
+    error: Optional[ErrorInfo] = None
+    queue_seconds: float = 0.0
+    exec_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        """The wire shape used by the NDJSON protocol (timings in ms)."""
+        out: dict[str, Any] = {
+            "ok": self.ok,
+            "queue_ms": round(self.queue_seconds * 1000, 3),
+            "exec_ms": round(self.exec_seconds * 1000, 3),
+        }
+        if self.ok:
+            out["columns"] = self.columns
+            out["rows"] = self.rows
+            out["engine"] = self.engine
+            out["finite"] = self.finite
+        else:
+            assert self.error is not None
+            out["error"] = self.error.to_dict()
+        return out
+
+
+# ------------------------------------------------------------------ requests
+
+
+@dataclass
+class RunRequest:
+    """One query execution request.
+
+    ``query`` is query text or a :class:`PreparedQuery`; ``database`` a
+    registered name.  ``timeout`` (seconds) defaults to the service's
+    ``default_timeout`` and starts counting at **submission** — time spent
+    waiting in the admission queue eats into the budget, which is what
+    lets a loaded service shed requests that would miss their deadline
+    anyway.
+    """
+
+    query: Union[str, "PreparedQuery"]
+    database: str
+    structure: str = "S"
+    engine: Optional[str] = None      # None/"auto" | "automata" | "direct"
+    slack: Optional[int] = None
+    limit: Optional[int] = None
+    timeout: Optional[float] = None
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs for :class:`QueryService` (see ``docs/service.md``)."""
+
+    workers: int = 4
+    max_pending: int = 64
+    backpressure: str = "reject"          # "reject" | "block"
+    default_timeout: Optional[float] = None
+    cache: Optional[AutomatonCache] = None  # defaults to the global cache
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ServiceError("workers must be >= 1")
+        if self.max_pending < 1:
+            raise ServiceError("max_pending must be >= 1")
+        if self.backpressure not in ("reject", "block"):
+            raise ServiceError(
+                f"backpressure must be 'reject' or 'block', got "
+                f"{self.backpressure!r}"
+            )
+
+
+# ------------------------------------------------------------------ registry
+
+
+@dataclass(frozen=True)
+class _NamedDatabase:
+    """A registry entry: the instance plus its content fingerprint."""
+
+    name: str
+    database: Database
+    fingerprint: str
+
+
+class PreparedQuery:
+    """A query parsed once and planned once per database fingerprint.
+
+    Handles are created by :meth:`QueryService.prepare` and shared freely
+    across threads; the plan cache is locked, and the cached
+    :class:`~repro.engine.planner.Plan` objects are treated as immutable.
+    Re-registering a database under the same name invalidates its cached
+    plans via the fingerprint in the cache key.
+    """
+
+    def __init__(self, source: str, structure: str = "S"):
+        self.source = source
+        self.structure_name = structure
+        self.formula = parse_formula(source)
+        self._queries: dict[tuple[str, ...], Query] = {}
+        self._plans: dict[tuple, Plan] = {}
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedQuery({self.source!r}, structure={self.structure_name})"
+        )
+
+    def query_for(self, alphabet: Alphabet) -> Query:
+        """The signature-checked :class:`Query` for one alphabet."""
+        key = alphabet.symbols
+        with self._lock:
+            q = self._queries.get(key)
+        if q is None:
+            # Construction checks the formula against the structure's
+            # signature; done outside the lock (idempotent, last wins).
+            q = Query(self.formula, structure=self.structure_name,
+                      alphabet=alphabet)
+            with self._lock:
+                q = self._queries.setdefault(key, q)
+        return q
+
+    def plan_for(
+        self,
+        entry: _NamedDatabase,
+        engine: Optional[str] = None,
+        slack: Optional[int] = None,
+    ) -> Plan:
+        """The (cached) plan for this query on one registered database."""
+        force = None if engine in (None, "auto") else engine
+        key = (entry.name, entry.fingerprint, force, slack)
+        with self._lock:
+            plan = self._plans.get(key)
+        if plan is None:
+            q = self.query_for(entry.database.alphabet)
+            plan = Planner(q.structure, entry.database).plan(
+                q.formula, slack=slack, force=force
+            )
+            with self._lock:
+                plan = self._plans.setdefault(key, plan)
+        return plan
+
+
+# ---------------------------------------------------------------- the pool
+
+
+_SENTINEL = object()
+
+
+class _Job:
+    """One queued request with its deadline and completion signal."""
+
+    __slots__ = (
+        "request", "fn", "deadline", "submitted_at", "started_at",
+        "exec_seconds", "event", "outcome",
+    )
+
+    def __init__(self, request: RunRequest, fn, deadline: Optional[Deadline]):
+        self.request = request
+        self.fn = fn
+        self.deadline = deadline
+        self.submitted_at = time.monotonic()
+        self.started_at: Optional[float] = None
+        self.exec_seconds = 0.0
+        self.event = threading.Event()
+        # ("ok", payload dict) | ("error", exception)
+        self.outcome: Optional[tuple[str, Any]] = None
+
+
+class PendingRequest:
+    """A handle on a submitted request (the service's future)."""
+
+    __slots__ = ("_job",)
+
+    def __init__(self, job: _Job):
+        self._job = job
+
+    def done(self) -> bool:
+        return self._job.event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> ServiceResponse:
+        """Block until the request finishes and return its response.
+
+        ``timeout`` bounds only this *wait*; if it elapses the request is
+        still running and a retryable ``timeout`` response is returned
+        without cancelling the underlying work.
+        """
+        job = self._job
+        if not job.event.wait(timeout):
+            return ServiceResponse(
+                ok=False,
+                error=ErrorInfo(
+                    "timeout",
+                    f"request still pending after waiting {timeout:.6g}s",
+                    retryable=True,
+                ),
+                queue_seconds=time.monotonic() - job.submitted_at,
+            )
+        status, value = job.outcome  # type: ignore[misc]
+        queue_seconds = (
+            (job.started_at or job.submitted_at) - job.submitted_at
+        )
+        if status == "ok":
+            return ServiceResponse(
+                ok=True,
+                queue_seconds=queue_seconds,
+                exec_seconds=job.exec_seconds,
+                **value,
+            )
+        return ServiceResponse(
+            ok=False,
+            error=classify_error(value),
+            queue_seconds=queue_seconds,
+            exec_seconds=job.exec_seconds,
+        )
+
+
+# ----------------------------------------------------------------- service
+
+
+class QueryService:
+    """The concurrent query service (see module docstring).
+
+    Accepts either a :class:`ServiceConfig` or the same fields as keyword
+    overrides::
+
+        QueryService(workers=8, max_pending=128, backpressure="block")
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None, **overrides):
+        if config is None:
+            config = ServiceConfig(**overrides)
+        elif overrides:
+            raise ServiceError("pass a ServiceConfig or keyword overrides, not both")
+        self.config = config
+        self._cache = config.cache if config.cache is not None else global_cache()
+        self._databases: dict[str, _NamedDatabase] = {}
+        self._prepared: dict[tuple[str, str], PreparedQuery] = {}
+        self._registry_lock = threading.Lock()
+        self._queue: queue.Queue = queue.Queue(maxsize=config.max_pending)
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-worker-{i}", daemon=True
+            )
+            for i in range(config.workers)
+        ]
+        for t in self._workers:
+            t.start()
+
+    # ------------------------------------------------------------- registry
+
+    def register_database(
+        self, name: str, database: Union[StringDatabase, Database]
+    ) -> str:
+        """Register (or replace) a database under ``name``; returns its
+        fingerprint.  Replacing invalidates prepared plans for the old
+        contents automatically (plans are keyed by fingerprint)."""
+        db = database.db if isinstance(database, StringDatabase) else database
+        entry = _NamedDatabase(name, db, database_fingerprint(db))
+        with self._registry_lock:
+            self._databases[name] = entry
+        METRICS.inc("service.databases_registered")
+        return entry.fingerprint
+
+    def unregister_database(self, name: str) -> None:
+        with self._registry_lock:
+            self._databases.pop(name, None)
+
+    def database_names(self) -> list[str]:
+        with self._registry_lock:
+            return sorted(self._databases)
+
+    def _entry(self, name: str) -> _NamedDatabase:
+        with self._registry_lock:
+            entry = self._databases.get(name)
+        if entry is None:
+            have = ", ".join(self.database_names()) or "none"
+            raise ServiceError(
+                f"unknown database {name!r} (registered: {have})"
+            )
+        return entry
+
+    # -------------------------------------------------------------- prepare
+
+    def prepare(self, query: str, structure: str = "S") -> PreparedQuery:
+        """Parse once, share forever: handles are interned per
+        (source, structure) so every caller of the same query text gets
+        the same plan cache."""
+        key = (query, structure)
+        with self._registry_lock:
+            handle = self._prepared.get(key)
+        if handle is None:
+            handle = PreparedQuery(query, structure)
+            with self._registry_lock:
+                handle = self._prepared.setdefault(key, handle)
+            METRICS.inc("service.prepared_queries")
+        return handle
+
+    # ------------------------------------------------------------ execution
+
+    def submit(self, request: RunRequest) -> PendingRequest:
+        """Admit a request into the queue and return a waitable handle.
+
+        Raises :class:`~repro.errors.ServiceClosedError` when draining or
+        closed, :class:`~repro.errors.QueueFullError` when the queue is
+        full under ``backpressure="reject"``, and
+        :class:`~repro.errors.EvaluationTimeout` when a blocked submission
+        outlives the request's own deadline.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is draining or closed")
+        timeout = (
+            request.timeout if request.timeout is not None
+            else self.config.default_timeout
+        )
+        deadline = Deadline(timeout) if timeout is not None else None
+        job = _Job(request, lambda: self._evaluate(request), deadline)
+        METRICS.inc("service.requests")
+        if self.config.backpressure == "reject":
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                METRICS.inc("service.rejected")
+                raise QueueFullError(
+                    f"request queue full ({self.config.max_pending} pending); "
+                    "retry after backoff"
+                ) from None
+        else:
+            self._block_until_admitted(job, deadline)
+        return PendingRequest(job)
+
+    def _block_until_admitted(
+        self, job: _Job, deadline: Optional[Deadline]
+    ) -> None:
+        """``backpressure="block"``: wait for queue space, but never past
+        the request's own deadline (and never once the service closes)."""
+        while True:
+            wait = 0.05
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining <= 0:
+                    METRICS.inc("service.rejected")
+                    deadline.check()  # raises EvaluationTimeout
+                wait = min(wait, remaining)
+            try:
+                self._queue.put(job, timeout=wait)
+                return
+            except queue.Full:
+                if self._closed:
+                    raise ServiceClosedError(
+                        "service closed while waiting for queue space"
+                    ) from None
+
+    def execute(self, request: RunRequest) -> ServiceResponse:
+        """Submit and wait; admission failures become structured errors."""
+        try:
+            pending = self.submit(request)
+        except ReproError as exc:
+            return ServiceResponse(ok=False, error=classify_error(exc))
+        return pending.wait()
+
+    def execute_batch(self, requests: list[RunRequest]) -> list[ServiceResponse]:
+        """Run a batch through the pool; responses keep request order.
+
+        Items rejected at admission get structured *overloaded* errors in
+        their slot — one saturated batch never raises out of the call.
+        """
+        METRICS.inc("service.batches")
+        pending: list[Union[PendingRequest, ServiceResponse]] = []
+        for request in requests:
+            try:
+                pending.append(self.submit(request))
+            except ReproError as exc:
+                pending.append(ServiceResponse(ok=False, error=classify_error(exc)))
+        return [
+            p if isinstance(p, ServiceResponse) else p.wait() for p in pending
+        ]
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop admission and shut the pool down.
+
+        ``drain=True`` lets queued requests finish (their own deadlines
+        still apply); ``drain=False`` fails pending requests with a
+        retryable *unavailable* error.  ``timeout`` bounds the join on
+        each worker thread.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if not drain:
+            while True:
+                try:
+                    job = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if job is not _SENTINEL:
+                    job.outcome = (
+                        "error",
+                        ServiceClosedError("service shut down before execution"),
+                    )
+                    job.event.set()
+        for _ in self._workers:
+            self._queue.put(_SENTINEL)
+        for t in self._workers:
+            t.join(timeout)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats(self) -> dict:
+        """Service-level gauges plus the shared cache's counters."""
+        snapshot = METRICS.snapshot()
+        service_counters = {
+            name: value
+            for name, value in snapshot.items()
+            if name.startswith("service.")
+        }
+        return {
+            "workers": self.config.workers,
+            "max_pending": self.config.max_pending,
+            "backpressure": self.config.backpressure,
+            "pending": self._queue.qsize(),
+            "closed": self._closed,
+            "databases": self.database_names(),
+            "cache": self._cache.stats(),
+            "counters": service_counters,
+        }
+
+    # ------------------------------------------------------------- internals
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is _SENTINEL:
+                return
+            self._run_job(job)
+
+    def _run_job(self, job: _Job) -> None:
+        job.started_at = time.monotonic()
+        queue_wait = job.started_at - job.submitted_at
+        METRICS.add_time("service.queue_wait_seconds", queue_wait)
+        t0 = time.perf_counter()
+        try:
+            with deadline_scope(job.deadline):
+                if job.deadline is not None:
+                    # Queue wait counts against the budget: a request that
+                    # already missed its deadline is dropped before any
+                    # engine work starts.
+                    job.deadline.check()
+                payload = job.fn()
+            METRICS.inc("service.ok")
+            job.outcome = ("ok", payload)
+        except BaseException as exc:  # never kill a worker on a bad request
+            if isinstance(exc, EvaluationTimeout):
+                METRICS.inc("service.timeouts")
+            else:
+                METRICS.inc("service.errors")
+            job.outcome = ("error", exc)
+        finally:
+            job.exec_seconds = time.perf_counter() - t0
+            METRICS.add_time("service.exec_seconds", job.exec_seconds)
+            job.event.set()
+
+    def _evaluate(self, request: RunRequest) -> dict:
+        """Plan (cached) and execute one request on the worker thread."""
+        if isinstance(request.query, PreparedQuery):
+            prepared = request.query
+        else:
+            prepared = self.prepare(request.query, request.structure)
+        entry = self._entry(request.database)
+        plan = prepared.plan_for(entry, engine=request.engine,
+                                 slack=request.slack)
+        result = execute_plan(plan, entry.database, cache=self._cache)
+        finite = result.is_finite()
+        if finite:
+            rows = sorted(result.as_set())
+        elif request.limit is not None:
+            rows = sorted(result.tuples(limit=request.limit))
+        else:
+            raise UnsafeQueryError(
+                "query output is infinite; pass limit= to sample it"
+            )
+        return {
+            "columns": list(result.variables),
+            "rows": [list(t) for t in rows],
+            "engine": plan.engine,
+            "finite": finite,
+        }

@@ -1,0 +1,184 @@
+"""Concurrency stress: many threads hammering one service must produce
+exactly the serial answers, with consistent counters and a bounded cache.
+
+This is the satellite test for the thread-safety work: the METRICS
+registry and the LRU automaton cache are shared by every worker, so lost
+increments, corrupted LRU state, or cross-request answer bleed would show
+up here as wrong rows or counters that do not add up.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import Query, StringDatabase
+from repro.engine import AutomatonCache, global_cache
+from repro.engine.metrics import METRICS
+from repro.service import QueryService, RunRequest, ServiceConfig
+
+N_THREADS = 8
+ROUNDS = 3  # each thread runs every query this many times
+
+QUERIES = [
+    "R(x) & last(x, '0')",
+    "R(x) & last(x, '1')",
+    "R(x) & !S(x)",
+    "S(y) | R(y)",
+    "R(x) & exists adom y: S(y) & y <<= x",
+    "S(y) & exists adom x: R(x) & y <<= x",
+    "exists x: R(x) & last(x, '0')",   # Boolean query
+    "R(x) & S(y) & y <<= x",
+]
+
+
+def make_db():
+    return StringDatabase(
+        "01",
+        {"R": {"0110", "001", "11", "0101"}, "S": {"0", "01", "1"}},
+    )
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    global_cache().reset()
+    METRICS.reset()
+    yield
+    global_cache().reset()
+
+
+@pytest.fixture(scope="module")
+def serial_answers():
+    """The ground truth, computed single-threaded without any service."""
+    db = make_db()
+    return {src: [list(t) for t in Query(src).run(db).rows()] for src in QUERIES}
+
+
+class TestStress:
+    def test_threads_match_serial_and_counters_add_up(self, serial_answers):
+        svc = QueryService(workers=N_THREADS, max_pending=256)
+        svc.register_database("main", make_db())
+        failures = []
+        done = []
+
+        def hammer(thread_index):
+            # Deterministic per-thread order: rotate the query list so
+            # threads interleave different queries at any instant.
+            order = QUERIES[thread_index % len(QUERIES):] + \
+                QUERIES[:thread_index % len(QUERIES)]
+            for _ in range(ROUNDS):
+                for src in order:
+                    resp = svc.execute(RunRequest(query=src, database="main"))
+                    if not resp.ok:
+                        failures.append((src, resp.error.code, resp.error.message))
+                    elif resp.rows != serial_answers[src]:
+                        failures.append((src, "wrong-rows", resp.rows))
+                    else:
+                        done.append(src)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(N_THREADS)
+        ]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(120)
+            assert not any(t.is_alive() for t in threads)
+        finally:
+            svc.close()
+
+        total = N_THREADS * ROUNDS * len(QUERIES)
+        assert failures == []
+        assert len(done) == total
+
+        # Counter consistency: no increment was lost under contention.
+        assert METRICS.get("service.requests") == total
+        assert METRICS.get("service.ok") == total
+        assert METRICS.get("service.errors") == 0
+        engine_runs = (
+            METRICS.get("engine.automata.runs")
+            + METRICS.get("engine.direct.runs")
+        )
+        assert engine_runs == total
+
+        # The shared LRU stayed within bounds and did real work.
+        stats = global_cache().stats()
+        assert stats["size"] <= stats["maxsize"]
+        assert stats["hits"] > 0
+
+    def test_batched_fanout_matches_serial(self, serial_answers):
+        # The bench_service shape: one big batch fanned out over the pool.
+        svc = QueryService(workers=N_THREADS, max_pending=256)
+        svc.register_database("main", make_db())
+        try:
+            requests = [
+                RunRequest(query=src, database="main")
+                for _ in range(N_THREADS) for src in QUERIES
+            ]
+            responses = svc.execute_batch(requests)
+            assert all(r.ok for r in responses)
+            for req, resp in zip(requests, responses):
+                assert resp.rows == serial_answers[req.query]
+        finally:
+            svc.close()
+
+    def test_private_cache_isolation(self, serial_answers):
+        # A service with its own AutomatonCache must leave the global one
+        # untouched — and still answer correctly under concurrency.
+        private = AutomatonCache(maxsize=32)
+        svc = QueryService(
+            ServiceConfig(workers=4, max_pending=128, cache=private)
+        )
+        svc.register_database("main", make_db())
+        try:
+            responses = svc.execute_batch([
+                RunRequest(query=src, database="main")
+                for _ in range(4) for src in QUERIES
+            ])
+            assert all(r.ok for r in responses)
+            for req, resp in zip(
+                [s for _ in range(4) for s in QUERIES], responses
+            ):
+                assert resp.rows == serial_answers[req]
+        finally:
+            svc.close()
+        assert private.stats()["size"] > 0
+        assert global_cache().stats()["size"] == 0
+
+    def test_concurrent_metrics_increments_are_not_lost(self):
+        # Direct hammer on the registry itself: 8 threads x 5000 incs.
+        METRICS.reset()
+        barrier = threading.Barrier(8)
+
+        def bump():
+            barrier.wait()
+            for _ in range(5000):
+                METRICS.inc("stress.counter")
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert METRICS.get("stress.counter") == 8 * 5000
+
+    def test_concurrent_cache_puts_stay_bounded(self):
+        cache = AutomatonCache(maxsize=16)
+        barrier = threading.Barrier(8)
+
+        def churn(base):
+            barrier.wait()
+            for i in range(500):
+                key = ("k", base, i % 40)
+                if cache.get(key) is None:
+                    cache.put(key, ("value", base, i))
+
+        threads = [threading.Thread(target=churn, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        stats = cache.stats()
+        assert len(cache) <= 16
+        assert stats["size"] == len(cache)
+        assert stats["hits"] + stats["misses"] > 0

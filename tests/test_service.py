@@ -1,0 +1,509 @@
+"""Tests for the concurrent query service: registry, prepared queries,
+worker pool, admission control, deadlines, and the NDJSON protocol over
+stdio and TCP.
+
+The acceptance properties (ISSUE 2): a 1 ms-deadline request against an
+adversarial query returns a *structured* retryable timeout over the serve
+protocol — no hang, no traceback — and concurrent execution through the
+pool returns exactly the serial answers.
+"""
+
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core import Query, StringDatabase
+from repro.engine import global_cache
+from repro.engine.metrics import METRICS
+from repro.errors import (
+    EvaluationTimeout,
+    QueueFullError,
+    ReproError,
+    ServiceClosedError,
+    ServiceError,
+)
+from repro.service import (
+    Dispatcher,
+    PreparedQuery,
+    QueryService,
+    RunRequest,
+    ServiceClient,
+    ServiceConfig,
+    classify_error,
+    serve_stdio,
+    serve_tcp,
+)
+
+from tests.test_timeouts import ADVERSARIAL_QUERY, ADVERSARIAL_STRINGS
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    global_cache().reset()
+    METRICS.reset()
+    yield
+    global_cache().reset()
+
+
+def small_db():
+    return StringDatabase(
+        "01", {"R": {"0110", "001", "11"}, "S": {"0", "01"}}
+    )
+
+
+def adversarial_db():
+    return StringDatabase("01", {"R": [(s,) for s in ADVERSARIAL_STRINGS]})
+
+
+@pytest.fixture
+def service():
+    svc = QueryService(workers=4)
+    svc.register_database("main", small_db())
+    yield svc
+    svc.close()
+
+
+class TestRegistry:
+    def test_register_returns_fingerprint(self, service):
+        fp = service.register_database("other", small_db())
+        assert isinstance(fp, str) and len(fp) == 40
+        assert service.database_names() == ["main", "other"]
+
+    def test_reregistering_changes_fingerprint_with_contents(self, service):
+        fp1 = service.register_database("d", StringDatabase("01", {"R": {"0"}}))
+        fp2 = service.register_database("d", StringDatabase("01", {"R": {"1"}}))
+        assert fp1 != fp2
+        assert service.database_names() == ["d", "main"]
+
+    def test_unknown_database_is_a_structured_error(self, service):
+        resp = service.execute(RunRequest(query="R(x)", database="nope"))
+        assert not resp.ok
+        assert resp.error.code == "invalid"
+        assert not resp.error.retryable
+        assert "nope" in resp.error.message
+
+    def test_unregister(self, service):
+        service.register_database("gone", small_db())
+        service.unregister_database("gone")
+        assert "gone" not in service.database_names()
+
+
+class TestPreparedQueries:
+    def test_prepare_is_interned(self, service):
+        a = service.prepare("R(x) & last(x, '0')")
+        b = service.prepare("R(x) & last(x, '0')")
+        assert a is b
+        assert isinstance(a, PreparedQuery)
+
+    def test_prepared_executes_like_text(self, service):
+        prep = service.prepare("R(x) & last(x, '0')")
+        r1 = service.execute(RunRequest(query=prep, database="main"))
+        r2 = service.execute(
+            RunRequest(query="R(x) & last(x, '0')", database="main")
+        )
+        assert r1.ok and r2.ok
+        assert r1.rows == r2.rows == [["0110"]]
+
+    def test_plan_cached_per_fingerprint(self, service):
+        prep = service.prepare("R(x) & last(x, '0')")
+        entry = service._entry("main")
+        p1 = prep.plan_for(entry)
+        p2 = prep.plan_for(entry)
+        assert p1 is p2
+        # New contents under the same name -> a fresh plan.
+        service.register_database("main", StringDatabase("01", {"R": {"00"}}))
+        p3 = prep.plan_for(service._entry("main"))
+        assert p3 is not p1
+
+    def test_parse_error_is_structured(self, service):
+        resp = service.execute(RunRequest(query="R(x", database="main"))
+        assert not resp.ok
+        assert resp.error.code == "parse"
+        assert not resp.error.retryable
+
+
+class TestExecution:
+    def test_single_request(self, service):
+        resp = service.execute(
+            RunRequest(query="R(x) & last(x, '0')", database="main")
+        )
+        assert resp.ok
+        assert resp.columns == ["x"]
+        assert resp.rows == [["0110"]]
+        assert resp.engine in ("automata", "direct")
+        assert resp.finite is True
+        assert resp.exec_seconds >= 0
+
+    def test_results_match_the_library(self, service):
+        for src in ["R(x) & last(x, '0')", "S(y)", "R(x) & !S(x)"]:
+            expected = [list(t) for t in Query(src).run(small_db()).rows()]
+            resp = service.execute(RunRequest(query=src, database="main"))
+            assert resp.ok and resp.rows == expected
+
+    def test_batch_keeps_order_and_isolates_errors(self, service):
+        responses = service.execute_batch([
+            RunRequest(query="R(x) & last(x, '0')", database="main"),
+            RunRequest(query="R(x", database="main"),
+            RunRequest(query="S(y)", database="main"),
+            RunRequest(query="R(x)", database="nowhere"),
+        ])
+        assert [r.ok for r in responses] == [True, False, True, False]
+        assert responses[0].rows == [["0110"]]
+        assert responses[1].error.code == "parse"
+        assert responses[2].rows == [["0"], ["01"]]
+        assert responses[3].error.code == "invalid"
+
+    def test_infinite_output_needs_limit(self, service):
+        resp = service.execute(RunRequest(query="last(x, '0')", database="main"))
+        assert not resp.ok and resp.error.code == "unsafe"
+        resp = service.execute(
+            RunRequest(query="last(x, '0')", database="main", limit=3)
+        )
+        assert resp.ok and resp.finite is False and len(resp.rows) == 3
+
+    def test_deadline_returns_structured_timeout(self):
+        svc = QueryService(workers=2)
+        svc.register_database("adv", adversarial_db())
+        try:
+            t0 = time.monotonic()
+            resp = svc.execute(
+                RunRequest(query=ADVERSARIAL_QUERY, database="adv",
+                           timeout=0.001)
+            )
+            wall = time.monotonic() - t0
+            assert not resp.ok
+            assert resp.error.code == "timeout"
+            assert resp.error.retryable
+            assert wall < 2.0
+            assert METRICS.get("service.timeouts") == 1
+        finally:
+            svc.close()
+
+    def test_default_timeout_from_config(self):
+        svc = QueryService(workers=1, default_timeout=0.001)
+        svc.register_database("adv", adversarial_db())
+        try:
+            resp = svc.execute(
+                RunRequest(query=ADVERSARIAL_QUERY, database="adv")
+            )
+            assert not resp.ok and resp.error.code == "timeout"
+        finally:
+            svc.close()
+
+    def test_pool_survives_bad_requests(self, service):
+        # Workers must outlive parse errors, unknown dbs, and timeouts.
+        for _ in range(3):
+            service.execute(RunRequest(query="R(x", database="main"))
+        resp = service.execute(RunRequest(query="S(y)", database="main"))
+        assert resp.ok and resp.rows == [["0"], ["01"]]
+
+
+class TestAdmissionControl:
+    def _occupy(self, svc, budget=0.5):
+        """Fill the single worker with an adversarial request, and wait
+        until it has actually been dequeued."""
+        pending = svc.submit(RunRequest(
+            query=ADVERSARIAL_QUERY, database="adv", timeout=budget,
+        ))
+        deadline = time.monotonic() + 5
+        while svc._queue.qsize() > 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        return pending
+
+    def test_reject_backpressure(self):
+        svc = QueryService(workers=1, max_pending=1, backpressure="reject")
+        svc.register_database("adv", adversarial_db())
+        try:
+            busy = self._occupy(svc)
+            queued = svc.submit(RunRequest(
+                query=ADVERSARIAL_QUERY, database="adv", timeout=0.5,
+            ))
+            with pytest.raises(QueueFullError) as exc_info:
+                svc.submit(RunRequest(query=ADVERSARIAL_QUERY, database="adv"))
+            assert "retry" in str(exc_info.value)
+            assert METRICS.get("service.rejected") == 1
+            # Both admitted requests finish with their own deadlines.
+            assert busy.wait(10).error.code == "timeout"
+            assert queued.wait(10).error.code == "timeout"
+        finally:
+            svc.close()
+
+    def test_rejected_batch_items_get_structured_errors(self):
+        svc = QueryService(workers=1, max_pending=1, backpressure="reject")
+        svc.register_database("adv", adversarial_db())
+        try:
+            self._occupy(svc)
+            responses = svc.execute_batch([
+                RunRequest(query=ADVERSARIAL_QUERY, database="adv",
+                           timeout=0.4)
+                for _ in range(4)
+            ])
+            codes = {r.error.code for r in responses if not r.ok}
+            assert "overloaded" in codes
+            overloaded = [
+                r for r in responses if not r.ok and r.error.code == "overloaded"
+            ]
+            assert all(r.error.retryable for r in overloaded)
+        finally:
+            svc.close()
+
+    def test_block_backpressure_waits_for_space(self):
+        svc = QueryService(workers=1, max_pending=1, backpressure="block")
+        svc.register_database("adv", adversarial_db())
+        svc.register_database("main", small_db())
+        try:
+            self._occupy(svc, budget=0.3)
+            svc.submit(RunRequest(query=ADVERSARIAL_QUERY, database="adv",
+                                  timeout=0.3))
+            # Queue full; a blocking submit must wait, then succeed.
+            resp = svc.execute(RunRequest(query="S(y)", database="main"))
+            assert resp.ok and resp.rows == [["0"], ["01"]]
+        finally:
+            svc.close()
+
+    def test_block_backpressure_respects_request_deadline(self):
+        svc = QueryService(workers=1, max_pending=1, backpressure="block")
+        svc.register_database("adv", adversarial_db())
+        try:
+            self._occupy(svc, budget=1.0)
+            svc.submit(RunRequest(query=ADVERSARIAL_QUERY, database="adv",
+                                  timeout=1.0))
+            t0 = time.monotonic()
+            with pytest.raises(EvaluationTimeout):
+                svc.submit(RunRequest(query=ADVERSARIAL_QUERY, database="adv",
+                                      timeout=0.05))
+            assert time.monotonic() - t0 < 1.0
+        finally:
+            svc.close()
+
+
+class TestLifecycle:
+    def test_close_drains_queued_requests(self):
+        svc = QueryService(workers=2)
+        svc.register_database("main", small_db())
+        handles = [
+            svc.submit(RunRequest(query="R(x) & last(x, '0')", database="main"))
+            for _ in range(8)
+        ]
+        svc.close(drain=True)
+        assert all(h.wait(5).ok for h in handles)
+
+    def test_close_without_drain_fails_pending(self):
+        svc = QueryService(workers=1, max_pending=8)
+        svc.register_database("adv", adversarial_db())
+        busy = svc.submit(RunRequest(query=ADVERSARIAL_QUERY, database="adv",
+                                     timeout=0.3))
+        deadline = time.monotonic() + 5
+        while svc._queue.qsize() > 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        queued = svc.submit(RunRequest(query="R(x)", database="adv"))
+        svc.close(drain=False)
+        resp = queued.wait(5)
+        assert not resp.ok
+        assert resp.error.code == "unavailable"
+        assert resp.error.retryable
+        assert busy.wait(5).error.code == "timeout"
+
+    def test_submit_after_close_raises(self):
+        svc = QueryService(workers=1)
+        svc.close()
+        with pytest.raises(ServiceClosedError):
+            svc.submit(RunRequest(query="R(x)", database="main"))
+        # execute() surfaces the same thing structurally.
+        resp = svc.execute(RunRequest(query="R(x)", database="main"))
+        assert not resp.ok and resp.error.code == "unavailable"
+
+    def test_context_manager_closes(self):
+        with QueryService(workers=1) as svc:
+            svc.register_database("main", small_db())
+            assert svc.execute(
+                RunRequest(query="R(x)", database="main")
+            ).ok
+        assert svc.closed
+
+    def test_config_validation(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(workers=0)
+        with pytest.raises(ServiceError):
+            ServiceConfig(max_pending=0)
+        with pytest.raises(ServiceError):
+            ServiceConfig(backpressure="drop")
+
+    def test_stats_shape(self, service):
+        service.execute(RunRequest(query="R(x)", database="main"))
+        stats = service.stats()
+        assert stats["workers"] == 4
+        assert stats["databases"] == ["main"]
+        assert stats["counters"]["service.requests"] >= 1
+        assert "hits" in stats["cache"]
+
+
+class TestErrorClassification:
+    def test_codes_and_retryability(self):
+        cases = [
+            (EvaluationTimeout("t"), "timeout", True),
+            (QueueFullError("q"), "overloaded", True),
+            (ServiceClosedError("c"), "unavailable", True),
+            (ReproError("r"), "invalid", False),
+            (ValueError("boom"), "internal", False),
+        ]
+        for exc, code, retryable in cases:
+            info = classify_error(exc)
+            assert info.code == code
+            assert info.retryable is retryable
+        assert "boom" in classify_error(ValueError("boom")).message
+
+
+class TestStdioProtocol:
+    def _serve(self, lines):
+        svc = QueryService(workers=2)
+        stdin = io.StringIO("".join(line + "\n" for line in lines))
+        stdout = io.StringIO()
+        code = serve_stdio(svc, stdin=stdin, stdout=stdout)
+        assert code == 0
+        assert svc.closed
+        return [json.loads(line) for line in stdout.getvalue().splitlines()]
+
+    def test_round_trip(self):
+        out = self._serve([
+            json.dumps({"op": "ping", "id": 1}),
+            json.dumps({
+                "op": "register_db", "id": 2, "name": "main",
+                "db": {"alphabet": "01",
+                       "relations": {"R": [["0110"], ["001"], ["11"]]}},
+            }),
+            json.dumps({"op": "run", "id": 3,
+                        "query": "R(x) & last(x, '0')", "db": "main"}),
+            json.dumps({"op": "list_dbs", "id": 4}),
+        ])
+        assert out[0] == {"id": 1, "pong": True, "version": 1, "ok": True}
+        assert out[1]["ok"] and len(out[1]["fingerprint"]) == 40
+        assert out[2]["ok"] and out[2]["rows"] == [["0110"]]
+        assert out[3]["databases"] == ["main"]
+
+    def test_malformed_lines_are_structured_errors(self):
+        out = self._serve([
+            "this is not json",
+            json.dumps({"op": "warp", "id": 2}),
+            json.dumps({"id": 3}),
+            json.dumps({"op": "run", "id": 4, "db": "main"}),
+        ])
+        assert [o["ok"] for o in out] == [False, False, False, False]
+        assert out[0]["id"] is None
+        assert "unknown op" in out[1]["error"]["message"]
+        assert all(not o["error"]["retryable"] for o in out)
+
+    def test_shutdown_op_stops_the_loop(self):
+        out = self._serve([
+            json.dumps({"op": "shutdown", "id": 1}),
+            json.dumps({"op": "ping", "id": 2}),  # never reached
+        ])
+        assert len(out) == 1
+        assert out[0] == {"id": 1, "closing": True, "drain": True, "ok": True}
+
+    def test_eof_without_shutdown_exits_cleanly(self):
+        assert self._serve([]) == []
+
+
+class TestTCPProtocol:
+    @pytest.fixture
+    def server(self):
+        svc = QueryService(workers=4)
+        svc.register_database("main", small_db())
+        svc.register_database("adv", adversarial_db())
+        server = serve_tcp(svc, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        thread.join(5)
+        server.close_service()
+
+    def _client(self, server):
+        host, port = server.server_address[:2]
+        return ServiceClient(host, port)
+
+    def test_round_trip(self, server):
+        with self._client(server) as client:
+            assert client.ping()["pong"] is True
+            resp = client.run("R(x) & last(x, '0')", db="main")
+            assert resp["ok"] and resp["rows"] == [["0110"]]
+
+    def test_prepared_and_batch(self, server):
+        with self._client(server) as client:
+            prep = client.prepare("R(x) & last(x, '0')")
+            assert prep["ok"] and prep["variables"] == ["x"]
+            resp = client.batch([
+                {"prepared": prep["prepared"], "db": "main"},
+                {"query": "S(y)", "db": "main"},
+                {"query": "R(x", "db": "main"},
+            ])
+            results = resp["results"]
+            assert results[0]["rows"] == [["0110"]]
+            assert results[1]["rows"] == [["0"], ["01"]]
+            assert results[2]["error"]["code"] == "parse"
+
+    def test_acceptance_1ms_deadline_is_structured_not_a_hang(self, server):
+        # ISSUE 2 acceptance: 1 ms deadline against the adversarial query,
+        # over the serve protocol -> structured retryable timeout, fast.
+        with self._client(server) as client:
+            t0 = time.monotonic()
+            resp = client.run(ADVERSARIAL_QUERY, db="adv", timeout_ms=1)
+            wall = time.monotonic() - t0
+            assert resp["ok"] is False
+            assert resp["error"]["code"] == "timeout"
+            assert resp["error"]["retryable"] is True
+            assert "Traceback" not in resp["error"]["message"]
+            assert wall < 2.0
+
+    def test_register_db_over_the_wire(self, server):
+        with self._client(server) as client:
+            client.register_db("wire", "ab", {"T": [["ab"], ["ba"]]})
+            resp = client.run("T(x) & last(x, 'b')", db="wire")
+            assert resp["ok"] and resp["rows"] == [["ab"]]
+
+    def test_concurrent_clients_share_one_pool(self, server):
+        results = {}
+
+        def hit(i):
+            with self._client(server) as client:
+                results[i] = client.run("R(x) & last(x, '0')", db="main")
+
+        threads = [threading.Thread(target=hit, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10)
+        assert len(results) == 6
+        assert all(r["ok"] and r["rows"] == [["0110"]] for r in results.values())
+
+    def test_stats_op(self, server):
+        with self._client(server) as client:
+            client.run("R(x)", db="main")
+            stats = client.stats()["stats"]
+            assert stats["workers"] == 4
+            assert set(stats["databases"]) == {"adv", "main"}
+
+
+class TestDispatcherDirect:
+    def test_response_ids_echo_any_json_value(self):
+        svc = QueryService(workers=1)
+        try:
+            dispatcher = Dispatcher(svc)
+            for request_id in ["abc", 7, None, {"k": 1}]:
+                resp, _ = dispatcher.handle({"op": "ping", "id": request_id})
+                assert resp["id"] == request_id
+        finally:
+            svc.close()
+
+    def test_shutdown_can_be_disabled(self):
+        svc = QueryService(workers=1)
+        try:
+            dispatcher = Dispatcher(svc, allow_shutdown=False)
+            resp, shutdown = dispatcher.handle({"op": "shutdown", "id": 1})
+            assert not resp["ok"] and not shutdown
+        finally:
+            svc.close()
