@@ -4,9 +4,16 @@
 PY := PYTHONPATH=src python
 SMOKE_DIR := .bench-smoke
 
-.PHONY: test docs-check bench-smoke bench-full bench-service serve-smoke clean
+.PHONY: test test-full docs-check bench-smoke bench-algebra bench-algebra-smoke \
+	bench-full bench-service serve-smoke clean
 
-test:
+## Fast local loop: skip @pytest.mark.slow tests, then smoke the algebra
+## join benchmark (the perf claim that is cheapest to regress silently).
+test: bench-algebra-smoke
+	$(PY) -m pytest -x -q -m "not slow"
+
+## The whole suite, slow tests included (what CI should run).
+test-full:
 	$(PY) -m pytest -x -q
 
 ## Run every fenced `python -m repro ...` command in docs/*.md against the
@@ -26,6 +33,17 @@ paths = sorted(glob.glob('$(SMOKE_DIR)/*.json')); \
 assert paths, 'no metrics JSON produced'; \
 [json.load(open(p)) for p in paths]; \
 print('bench-smoke: %d metrics files parse' % len(paths))"
+
+## Set-at-a-time algebra engine vs naive Product+Select (full sweep,
+## asserts the >=10x speedup and the HashJoin EXPLAIN node).
+bench-algebra:
+	mkdir -p $(SMOKE_DIR)
+	$(PY) benchmarks/bench_algebra_joins.py --explain-json $(SMOKE_DIR)/algebra_joins.json
+
+## Minimal sizes of the same sweep; part of `make test`'s fast path.
+bench-algebra-smoke:
+	mkdir -p $(SMOKE_DIR)
+	$(PY) benchmarks/bench_algebra_joins.py --smoke --explain-json $(SMOKE_DIR)/algebra_joins.json
 
 bench-full:
 	$(PY) -m pytest benchmarks/ --benchmark-only

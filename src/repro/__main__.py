@@ -13,7 +13,8 @@ Usage::
     python -m repro serve --stdio --db main=db.json    # NDJSON query service
 
 ``run`` auto-selects the evaluation engine through the cost-based planner
-(:mod:`repro.engine`); pass ``--engine automata|direct`` to override.
+(:mod:`repro.engine`); pass ``--engine automata|direct|algebra`` to
+override.
 ``explain`` prints the plan tree — chosen engine, cost estimates, per-node
 wall time, automaton state/transition counts, and automaton-cache hit
 counters (see ``docs/explain_and_metrics.md``).
@@ -220,7 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--engine",
         default="auto",
-        choices=["auto", "automata", "direct"],
+        choices=["auto", "automata", "direct", "algebra"],
         help="evaluation engine (default: cost-based planner)",
     )
     p_run.add_argument("--limit", type=int, default=None,
@@ -242,7 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument(
         "--engine",
         default="auto",
-        choices=["auto", "automata", "direct"],
+        choices=["auto", "automata", "direct", "algebra"],
         help="force an engine instead of the planner's choice",
     )
     p_explain.add_argument(

@@ -5,6 +5,11 @@ Safe queries as executable plans (Theorems 4 and 8): plan nodes in
 :mod:`repro.algebra.dialects`, the calculus->algebra compiler in
 :mod:`repro.algebra.compile`, and the algebra->calculus translation in
 :mod:`repro.algebra.to_calculus`.
+
+Beyond the paper's syntax, :mod:`repro.algebra.optimize` grows an
+execution-oriented rewrite pass (:func:`optimize_for_execution`, hash-join
+fusion + pushdown) and :mod:`repro.algebra.exec` runs the result
+set-at-a-time — the planner's third engine (``docs/algebra_engine.md``).
 """
 
 from repro.algebra.compile import (
@@ -26,6 +31,12 @@ from repro.algebra.dialects import (
     RA_S_len,
     RA_S_reg,
 )
+from repro.algebra.exec import (
+    AlgebraExecutor,
+    OpStats,
+    compile_for_execution,
+    run_algebra,
+)
 from repro.algebra.plan import (
     AddFirstOp,
     AddLastOp,
@@ -34,6 +45,7 @@ from repro.algebra.plan import (
     DownOp,
     EpsilonRel,
     InsertAtOp,
+    Join,
     Plan,
     PrefixOp,
     Product,
@@ -43,13 +55,18 @@ from repro.algebra.plan import (
     Union,
     col,
 )
-from repro.algebra.optimize import evaluate_with_cse, optimize
+from repro.algebra.optimize import (
+    evaluate_with_cse,
+    optimize,
+    optimize_for_execution,
+)
 from repro.algebra.to_calculus import column_var, to_calculus
 
 __all__ = [
     "AddFirstOp",
     "AddLastOp",
     "AlgebraDialect",
+    "AlgebraExecutor",
     "BaseRel",
     "CompileError",
     "CompiledQuery",
@@ -59,6 +76,8 @@ __all__ = [
     "EpsilonRel",
     "FOR_STRUCTURE",
     "InsertAtOp",
+    "Join",
+    "OpStats",
     "Plan",
     "PrefixOp",
     "Product",
@@ -74,11 +93,14 @@ __all__ = [
     "bound_plan",
     "col",
     "column_var",
+    "compile_for_execution",
     "compile_query",
     "evaluate_with_cse",
     "is_collapsed_form",
     "optimize",
+    "optimize_for_execution",
     "is_database_free",
     "query_constants",
+    "run_algebra",
     "to_calculus",
 ]

@@ -125,7 +125,13 @@ def _term_walk(term):
 
 
 def adom_plan(schema: Schema, extra_constants: frozenset[str]) -> Plan:
-    """Unary plan computing ``adom(D) u {eps} u constants``."""
+    """Unary plan computing ``adom(D) u {eps} u constants``.
+
+    This is the *base of the gamma bound* (the paper's Section 6.1), which
+    includes ``eps`` by definition.  The domain an ADOM *quantifier* ranges
+    over is :func:`strict_adom_plan` — exactly ``adom(D)``, matching the
+    direct and automata engines.
+    """
     plan: Plan = EpsilonRel()
     for name in schema.relation_names:
         arity = schema.arity(name)
@@ -133,6 +139,19 @@ def adom_plan(schema: Schema, extra_constants: frozenset[str]) -> Plan:
             plan = Union(plan, Project(BaseRel(name, arity), (i,)))
     for const in sorted(extra_constants):
         plan = Union(plan, _constant_plan(const))
+    return plan
+
+
+def strict_adom_plan(schema: Schema) -> Plan:
+    """Unary plan computing exactly ``adom(D)`` — no implicit ``eps``."""
+    plan: Plan | None = None
+    for name in schema.relation_names:
+        arity = schema.arity(name)
+        for i in range(arity):
+            proj = Project(BaseRel(name, arity), (i,))
+            plan = proj if plan is None else Union(plan, proj)
+    if plan is None:  # no relations: the active domain is empty
+        return Difference(EpsilonRel(), EpsilonRel())
     return plan
 
 
@@ -201,7 +220,7 @@ class _Compiler:
         self.schema = schema
         self.slack = slack
         self.bound = bound
-        self.adom = adom_plan(schema, frozenset())
+        self.adom = strict_adom_plan(schema)
 
     # Translation: returns (plan, vars) with vars = sorted(free(f)).
 

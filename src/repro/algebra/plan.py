@@ -38,6 +38,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.database.instance import Database
+from repro.engine.deadline import checkpoint
+from repro.engine.metrics import METRICS
 from repro.errors import ArityError, EvaluationError
 from repro.logic.formulas import Formula, QuantKind, RelAtom
 from repro.logic.terms import Var
@@ -46,6 +48,10 @@ from repro.structures.base import StringStructure
 
 Row = tuple[str, ...]
 Rows = frozenset[Row]
+
+#: Deadline-check stride for row loops: per-row work is tiny, so the
+#: clock is only consulted every 256th row (matching the direct engine).
+_TICK_MASK = 255
 
 
 def col(i: int) -> Var:
@@ -136,7 +142,7 @@ class _ConditionChecker:
     because ``sigma_alpha`` conditions may not mention the database).
     """
 
-    def __init__(self, condition: Formula, structure: StringStructure):
+    def __init__(self, condition: Formula, structure: StringStructure, slack: int = 0):
         if condition.relation_names():
             raise EvaluationError(
                 "sigma_alpha conditions must not mention database relations"
@@ -153,7 +159,7 @@ class _ConditionChecker:
             from repro.eval.automata_engine import AutomataEngine
 
             empty_db = Database(structure.alphabet, {})
-            engine = AutomataEngine(structure, empty_db)
+            engine = AutomataEngine(structure, empty_db, slack=slack)
             result = engine.run(condition, check_signature=False)
             self._automaton = result.relation
             self._auto_vars = result.variables
@@ -195,11 +201,13 @@ def _eval_quantifier_free(
 _CHECKER_CACHE: dict[tuple, "_ConditionChecker"] = {}
 
 
-def _get_checker(condition: Formula, structure: StringStructure) -> "_ConditionChecker":
-    key = (str(condition), structure.name, structure.alphabet.symbols)
+def _get_checker(
+    condition: Formula, structure: StringStructure, slack: int = 0
+) -> "_ConditionChecker":
+    key = (str(condition), structure.name, structure.alphabet.symbols, slack)
     checker = _CHECKER_CACHE.get(key)
     if checker is None:
-        checker = _ConditionChecker(condition, structure)
+        checker = _ConditionChecker(condition, structure, slack=slack)
         _CHECKER_CACHE[key] = checker
     return checker
 
@@ -225,6 +233,23 @@ class Select(Plan):
                 f"condition uses column c{checker.max_column()}, child arity "
                 f"is {self.child.arity}"
             )
+        if isinstance(self.child, Product):
+            # Stream the cross product through the filter pair by pair:
+            # only the (usually much smaller) selected set is ever
+            # materialized, never the O(|L|*|R|) intermediate relation.
+            lrows = self.child.left.evaluate(db, structure)
+            rrows = self.child.right.evaluate(db, structure)
+            out = set()
+            tick = 0
+            for l in lrows:
+                for r in rrows:
+                    tick += 1
+                    if not tick & _TICK_MASK:
+                        checkpoint()
+                    row = l + r
+                    if checker.check(row):
+                        out.add(row)
+            return frozenset(out)
         rows = self.child.evaluate(db, structure)
         return frozenset(r for r in rows if checker.check(r))
 
@@ -271,10 +296,90 @@ class Product(Plan):
     def evaluate(self, db: Database, structure: StringStructure) -> Rows:
         lrows = self.left.evaluate(db, structure)
         rrows = self.right.evaluate(db, structure)
-        return frozenset(l + r for l in lrows for r in rrows)
+        return frozenset(self._stream(lrows, rrows))
+
+    @staticmethod
+    def _stream(lrows: Rows, rrows: Rows):
+        tick = 0
+        for l in lrows:
+            for r in rrows:
+                tick += 1
+                if not tick & _TICK_MASK:
+                    checkpoint()
+                yield l + r
 
     def __str__(self) -> str:
         return f"({self.left} x {self.right})"
+
+
+@dataclass(frozen=True)
+class Join(Plan):
+    """Fused equi-join: ``sigma[AND c_l=c_r](left x right)``, set-at-a-time.
+
+    Not one of the paper's algebra operators — the optimizer's
+    :func:`~repro.algebra.optimize.optimize_for_execution` fuses a
+    ``Select`` whose condition conjoins cross-side column equalities over
+    a ``Product`` into this node, and evaluation hash-partitions on the
+    join keys instead of enumerating the cross product.  ``pairs`` holds
+    ``(left column, right column)`` key pairs; ``residual`` is the part
+    of the original condition that is not a cross-side column equality
+    (checked per joined row), in the *concatenated* column space.
+
+    Dialect validation deliberately rejects this node: fused plans are an
+    execution-layer form, not RA(M) syntax (``to_calculus`` translates it
+    back to the conjunction it came from).
+    """
+
+    left: Plan
+    right: Plan
+    pairs: tuple[tuple[int, int], ...]
+    residual: Optional[Formula] = None
+
+    @property
+    def arity(self) -> int:
+        return self.left.arity + self.right.arity
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def evaluate(self, db: Database, structure: StringStructure) -> Rows:
+        lrows = self.left.evaluate(db, structure)
+        rrows = self.right.evaluate(db, structure)
+        checker = (
+            _get_checker(self.residual, structure)
+            if self.residual is not None
+            else None
+        )
+        METRICS.inc("algebra.joins")
+        table: dict[Row, list[Row]] = {}
+        tick = 0
+        for r in rrows:
+            tick += 1
+            if not tick & _TICK_MASK:
+                checkpoint()
+            key = tuple(r[j] for _, j in self.pairs)
+            table.setdefault(key, []).append(r)
+        out = set()
+        for l in lrows:
+            tick += 1
+            if not tick & _TICK_MASK:
+                checkpoint()
+            matches = table.get(tuple(l[i] for i, _ in self.pairs))
+            if not matches:
+                continue
+            for r in matches:
+                row = l + r
+                if checker is None or checker.check(row):
+                    out.add(row)
+        METRICS.inc("algebra.rows_probed", len(lrows))
+        return frozenset(out)
+
+    def __str__(self) -> str:
+        keys = " & ".join(
+            f"c{i}=c{self.left.arity + j}" for i, j in self.pairs
+        )
+        sigma = f"; {self.residual}" if self.residual is not None else ""
+        return f"hashjoin[{keys}{sigma}]({self.left}, {self.right})"
 
 
 @dataclass(frozen=True)

@@ -16,6 +16,7 @@ from repro.algebra.plan import (
     DownOp,
     EpsilonRel,
     InsertAtOp,
+    Join,
     Plan,
     PrefixOp,
     Product,
@@ -24,6 +25,8 @@ from repro.algebra.plan import (
     TrimFirstOp,
     Union,
 )
+from repro.engine.deadline import checkpoint
+from repro.engine.metrics import METRICS
 from repro.errors import EvaluationError
 from repro.logic.formulas import (
     And,
@@ -65,6 +68,10 @@ def _fresh(counter: list[int]) -> str:
 
 def _translate(plan: Plan, names: list[str], counter: list[int]) -> Formula:
     """Formula asserting ``(names...) in plan``."""
+    # Compiled plans can be deep (the gamma-bound repeats per quantifier),
+    # so translation honors service deadlines and shows up in METRICS.
+    checkpoint()
+    METRICS.inc("algebra.to_calculus_nodes")
     if isinstance(plan, BaseRel):
         return RelAtom(plan.name, tuple(Var(n) for n in names))
     if isinstance(plan, EpsilonRel):
@@ -105,6 +112,20 @@ def _translate(plan: Plan, names: list[str], counter: list[int]) -> Formula:
                 _translate(plan.right, names[n:], counter),
             )
         )
+    if isinstance(plan, Join):
+        # Fused hash join: re-expand to the conjunction it was fused from.
+        n = plan.left.arity
+        parts: list[Formula] = [
+            _translate(plan.left, names[:n], counter),
+            _translate(plan.right, names[n:], counter),
+        ]
+        parts.extend(
+            Atom("eq", (Var(names[i]), Var(names[n + j]))) for i, j in plan.pairs
+        )
+        if plan.residual is not None:
+            mapping = {f"c{i}": Var(name) for i, name in enumerate(names)}
+            parts.append(plan.residual.substitute(mapping))
+        return And(tuple(parts))
     if isinstance(plan, Union):
         return Or(
             (

@@ -156,9 +156,11 @@ class Query:
         choice and why.  ``engine="automata"`` forces the exact reference
         engine (handles natural quantifiers, detects infinite outputs);
         ``engine="direct"`` forces collapsed enumeration (polynomial data
-        complexity for the PREFIX-collapsing calculi).  Raises
-        :class:`~repro.errors.UnsafeQueryError` on infinite output unless
-        a ``limit`` is given.
+        complexity for the PREFIX-collapsing calculi);
+        ``engine="algebra"`` forces the set-at-a-time RA(M) executor
+        (hash joins, see ``docs/algebra_engine.md``) on the collapsed
+        formula.  Raises :class:`~repro.errors.UnsafeQueryError` on
+        infinite output unless a ``limit`` is given.
 
         ``timeout`` is a wall-clock budget in seconds covering evaluation
         *and* materialization; past it the engines cancel cooperatively
@@ -184,16 +186,17 @@ class Query:
         """Evaluate, returning the (possibly infinite) :class:`QueryResult`.
 
         ``engine`` is ``None``/``"auto"`` (planner-selected),
-        ``"automata"``, or ``"direct"``.  ``slack`` is the
+        ``"automata"``, ``"direct"``, or ``"algebra"``.  ``slack`` is the
         restricted-quantifier headroom.  The automata engine only uses it
         for explicitly PREFIX/LENGTH-restricted quantifiers (default 0);
-        the planner passes the same value to whichever engine it picks, so
-        auto-selection never changes the answer.  A *forced* direct engine
-        collapses natural quantifiers first and defaults to slack 1 — the
-        enumeration cost grows as ``|Sigma|^slack``, so raise it
-        deliberately (the theoretically safe bound is
-        ``2^quantifier_rank``; see :func:`repro.eval.collapse.
-        default_slack`).
+        the planner passes the same value to whichever engine it picks,
+        and only auto-selects the algebra engine in its provably
+        slack-independent regime, so auto-selection never changes the
+        answer.  A *forced* direct or algebra engine collapses natural
+        quantifiers first and defaults to slack 1 — the enumeration cost
+        grows as ``|Sigma|^slack``, so raise it deliberately (the
+        theoretically safe bound is ``2^quantifier_rank``; see
+        :func:`repro.eval.collapse.default_slack`).
 
         ``timeout`` bounds planning plus evaluation in wall-clock seconds,
         raising :class:`~repro.errors.EvaluationTimeout` once exceeded.

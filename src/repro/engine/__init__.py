@@ -1,11 +1,11 @@
 """Planning, caching, and observability for the evaluation engines.
 
 This package is the layer between :class:`repro.core.query.Query` and the
-two evaluators in :mod:`repro.eval`.  It contains:
+evaluators in :mod:`repro.eval` / :mod:`repro.algebra.exec`.  It contains:
 
 * :mod:`repro.engine.planner` — the cost-based planner that picks the
-  direct or the automata engine per query (``Query.run(db)`` with no
-  ``engine=`` argument goes through it);
+  direct, automata, or set-at-a-time algebra engine per query
+  (``Query.run(db)`` with no ``engine=`` argument goes through it);
 * :mod:`repro.engine.cache` — the LRU automaton cache that memoizes
   subformula compilations across runs and interns database-independent
   presentation automata across databases;
@@ -73,6 +73,7 @@ from repro.engine.metrics import METRICS, MetricsRegistry
 
 __all__ = [
     "METRICS",
+    "AlgebraTrace",
     "AutomatonCache",
     "Deadline",
     "Explain",
@@ -97,6 +98,7 @@ _LAZY = {
     "PlanNode": "repro.engine.planner",
     "Planner": "repro.engine.planner",
     "plan_query": "repro.engine.planner",
+    "AlgebraTrace": "repro.engine.explain",
     "Explain": "repro.engine.explain",
     "ExplainNode": "repro.engine.explain",
     "execute_plan": "repro.engine.explain",

@@ -131,6 +131,19 @@ class TraceObserver:
         node.transitions = _dfa_transition_count(relation.dfa)
 
 
+class AlgebraTrace:
+    """Captures the algebra executor's physical-operator stats tree.
+
+    Filled by :func:`execute_plan` when the algebra engine actually runs
+    (a whole-result cache hit leaves it empty and EXPLAIN falls back to
+    the planner's static tree, marked cached).
+    """
+
+    def __init__(self) -> None:
+        self.stats = None  # Optional[repro.algebra.exec.OpStats]
+        self.cached = False
+
+
 def plan_tree_to_explain(node) -> ExplainNode:
     """Convert a static :class:`~repro.engine.planner.PlanNode` tree."""
     return ExplainNode(
@@ -141,6 +154,18 @@ def plan_tree_to_explain(node) -> ExplainNode:
     )
 
 
+def op_stats_to_explain(stats) -> ExplainNode:
+    """Convert an :class:`repro.algebra.exec.OpStats` physical tree."""
+    return ExplainNode(
+        stats.label,
+        stats.kind,
+        seconds=stats.seconds,
+        cache_hit=stats.memo_hit or None,
+        annotations={"rows": stats.rows},
+        children=[op_stats_to_explain(c) for c in stats.children],
+    )
+
+
 # ---------------------------------------------------------------- execution
 
 
@@ -148,13 +173,16 @@ def execute_plan(
     plan: Plan,
     database: Database,
     cache: Optional[AutomatonCache] = None,
-    observer: Optional[TraceObserver] = None,
+    observer: object = None,
 ) -> QueryResult:
     """Run a plan's formula through its chosen engine, with caching.
 
     The automata engine memoizes every subformula compilation in
-    ``cache``; the direct engine memoizes its whole result relation (its
-    intermediate states are per-tuple booleans, not automata).
+    ``cache``; the direct and algebra engines memoize their whole result
+    relation (their intermediate states — per-tuple booleans, hash
+    tables — are not automata).  ``observer`` is a :class:`TraceObserver`
+    for the automata engine or an :class:`AlgebraTrace` for the algebra
+    engine.
     """
     from repro.eval.automata_engine import AutomataEngine
     from repro.eval.direct import DirectEngine
@@ -170,6 +198,34 @@ def execute_plan(
                 structure, database, slack=plan.slack, cache=cache, observer=observer
             )
             return engine.run(plan.formula)
+        if plan.engine == "algebra":
+            from repro.algebra.exec import run_algebra
+            from repro.automatic.relation import RelationAutomaton
+
+            key = formula_key(
+                plan.formula,
+                structure.name,
+                structure.alphabet.symbols,
+                plan.slack,
+                database_fingerprint(database),
+                stage="algebra-result",
+            )
+            cached = cache.get(key)
+            if cached is not None:
+                if isinstance(observer, AlgebraTrace):
+                    observer.cached = True
+                return QueryResult(*cached)
+            columns, rows, stats = run_algebra(
+                plan.formula, structure, database, slack=plan.slack
+            )
+            if isinstance(observer, AlgebraTrace):
+                observer.stats = stats
+            relation = RelationAutomaton.from_tuples(
+                structure.alphabet, len(columns), rows
+            )
+            result = QueryResult(columns, relation)
+            cache.put(key, (result.variables, result.relation))
+            return result
         # Direct engine: cache the full result keyed on the collapsed
         # formula + slack + database fingerprint.
         key = formula_key(
@@ -264,17 +320,25 @@ def explain_query(
         cache = global_cache()
     with deadline_scope(timeout):
         plan = Planner(structure, database).plan(formula, slack=slack, force=engine)
-        observer = TraceObserver() if plan.engine == "automata" else None
+        observer: object = None
+        if plan.engine == "automata":
+            observer = TraceObserver()
+        elif plan.engine == "algebra":
+            observer = AlgebraTrace()
         before = METRICS.snapshot()
         t0 = time.perf_counter()
         result = execute_plan(plan, database, cache=cache, observer=observer)
         seconds = time.perf_counter() - t0
     counters = metrics_mod.delta(before, METRICS.snapshot())
-    if observer is not None and observer.root is not None:
+    if isinstance(observer, TraceObserver) and observer.root is not None:
         root = observer.root
+    elif isinstance(observer, AlgebraTrace) and observer.stats is not None:
+        root = op_stats_to_explain(observer.stats)
     else:
         root = plan_tree_to_explain(plan.root)
         root.seconds = seconds
+        if isinstance(observer, AlgebraTrace) and observer.cached:
+            root.cache_hit = True
     finite = result.is_finite()
     return Explain(
         plan=plan,

@@ -1,13 +1,18 @@
 """The cost-based query planner: choose an evaluation engine per query.
 
-The library has two engines with one semantics (see ``docs/architecture.md``):
+The library has three engines with one semantics (see
+``docs/architecture.md``):
 
 * the **automata engine** — exact on every query, natural quantifiers
   included, at a worst-case exponential automata cost (the paper's PH
   upper bound, Theorem 2);
 * the **direct engine** — enumeration over the restricted quantifier
   domains, polynomial in the database for the PREFIX-collapsing calculi
-  (Corollaries 2/7) but exponential for S_len's LENGTH domains.
+  (Corollaries 2/7) but exponential for S_len's LENGTH domains;
+* the **algebra engine** — compiles to RA(M) (Theorem 4/8), fuses
+  ``Select(Product)`` into hash equi-joins and runs set-at-a-time
+  (:mod:`repro.algebra.exec`); asymptotically the cheapest on
+  join-shaped ADOM queries, but it pays a fixed compile+rewrite setup.
 
 Historically callers picked an engine by hand (``Query.run(db,
 engine="direct")``).  The planner replaces that choice: it inspects the
@@ -22,20 +27,29 @@ answer*.  The selection is deliberately conservative:
    database atom goes to the automata engine (its output may leave the
    active domain — even be infinite — and direct enumeration would
    silently truncate it);
-3. otherwise both engines agree exactly (they share the restricted-domain
+3. otherwise the engines agree exactly (they share the restricted-domain
    definitions and the slack), and the planner compares cost estimates:
-   the product of restricted-domain sizes for the direct engine vs a
-   state-count heuristic for the automata engine.
+   the product of restricted-domain sizes for the direct engine, a
+   state-count heuristic for the automata engine, and cardinality-based
+   join costs for the algebra engine.  The algebra engine is only
+   *eligible* in rule 3 when every quantifier is ADOM and the flattened
+   query is in collapsed form — exactly the regime where Theorem 4's
+   equivalence makes its answer slack-independent and equal to the other
+   engines'.
 
 Rule 3 is where the paper's complexity landscape becomes operational: a
 collapsed RC(S) query sees a polynomial PREFIX domain and goes direct,
-while an RC(S_len) query over a long string sees the ``|Sigma|^maxlen``
-LENGTH domain blow past :data:`DIRECT_COST_CEILING` and goes to automata.
+an RC(S_len) query over a long string sees the ``|Sigma|^maxlen`` LENGTH
+domain blow past :data:`DIRECT_COST_CEILING` and goes to automata, and a
+join of two large relations blows past the ceiling *but* fuses into a
+linear-time hash join, so it goes to algebra.
 
 Tuning knobs (module constants, also per-:class:`Planner` arguments):
 ``DIRECT_COST_CEILING`` — hard cap on estimated direct enumeration work;
 ``DIRECT_BIAS`` — how many direct candidate-checks are assumed to cost as
-much as one automata state expansion.
+much as one automata state expansion; ``ALGEBRA_SETUP_COST`` — fixed
+compile/rewrite overhead charged to the algebra engine so tiny queries
+keep going direct.
 """
 
 from __future__ import annotations
@@ -72,6 +86,12 @@ DIRECT_COST_CEILING = 2_000_000.0
 #: direct candidate checks (python-level enumeration is much cheaper per
 #: step than product/minimize machinery).
 DIRECT_BIAS = 64.0
+
+#: Fixed cost (in direct-check units) charged to the algebra engine for
+#: compiling the query to RA(M) and running the rewrite fixpoint.  Keeps
+#: tiny anchored queries on the direct engine, where enumeration finishes
+#: before the algebra compiler would.
+ALGEBRA_SETUP_COST = 2_000.0
 
 _INF = float("inf")
 
@@ -114,7 +134,7 @@ class Plan:
     the restricted-domain headroom both engines would use.
     """
 
-    engine: str  # "automata" | "direct"
+    engine: str  # "automata" | "direct" | "algebra"
     reason: str
     forced: bool
     slack: int
@@ -126,6 +146,7 @@ class Plan:
     quantifier_kinds: tuple[str, ...]
     negation_depth: int
     anchored_free: bool
+    algebra_cost: float = _INF
     db_stats: dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -137,6 +158,7 @@ class Plan:
             "structure": self.structure.name,
             "direct_cost": self.direct_cost,
             "automata_cost": self.automata_cost,
+            "algebra_cost": self.algebra_cost,
             "quantifier_kinds": list(self.quantifier_kinds),
             "negation_depth": self.negation_depth,
             "anchored_free": self.anchored_free,
@@ -150,6 +172,7 @@ class Plan:
             f"engine: {self.engine} ({mode}) — {self.reason}",
             f"estimated cost: direct≈{_fmt_cost(self.direct_cost)}"
             f"  automata≈{_fmt_cost(self.automata_cost)}"
+            f"  algebra≈{_fmt_cost(self.algebra_cost)}"
             f"  (slack={self.slack})",
             self.root.render(),
         ]
@@ -325,6 +348,97 @@ def estimate_automata_cost(
     return min(states(formula) * column_factor, 1e15)
 
 
+def algebra_eligible(formula: Formula) -> bool:
+    """True when the set-at-a-time algebra engine provably agrees with the
+    other engines on ``formula`` (and its answer is slack-independent).
+
+    The regime is: after term flattening the query still only has ADOM
+    quantifiers (flattening introduces NATURAL quantifiers for function
+    terms under database atoms, which would break this) and is in
+    collapsed form, so Theorem 4's calculus↔algebra equivalence applies
+    with every quantifier ranging over the *exact* active domain.  The
+    planner additionally only consults this in the branch where all free
+    variables are anchored, so the compiled plan's output equals the
+    restricted (= natural, by anchoring) semantics.
+    """
+    from repro.algebra.compile import is_collapsed_form
+    from repro.logic.transform import flatten_terms
+
+    flat = flatten_terms(formula)
+    if not flat.quantifier_kinds() <= {QuantKind.ADOM}:
+        return False
+    return is_collapsed_form(flat)
+
+
+def estimate_algebra_cost(
+    formula: Formula,
+    structure: StringStructure,
+    database: Database,
+    slack: int,
+) -> float:
+    """Estimated row operations of the set-at-a-time algebra executor.
+
+    A textbook cardinality model over the *formula* (cheaper than
+    compiling just to cost): relation atoms yield their cardinality,
+    conjunction is a hash-join chain (cost = inputs + output rows, output
+    estimated with an ``1/adom`` selectivity per shared variable),
+    negation adds a difference against an active-domain bound, ADOM
+    quantifiers project.  Returns ``inf`` when :func:`algebra_eligible`
+    is false.  Like the direct estimate, the absolute value only matters
+    relative to the other engines' estimates.
+    """
+    if not algebra_eligible(formula):
+        return _INF
+    adom = float(max(len(database.adom), 1))
+
+    def go(f: Formula) -> tuple[float, float]:
+        """Returns ``(cost, card)`` — work done and output-row estimate."""
+        if isinstance(f, RelAtom):
+            n = (
+                float(len(database.relation(f.name)))
+                if f.name in database.relation_names
+                else 0.0
+            )
+            return (max(n, 1.0), max(n, 1.0))
+        if isinstance(f, (Atom, TrueF, FalseF)):
+            return (1.0, 1.0)
+        if isinstance(f, Not):
+            cost, card = go(f.inner)
+            # Anti-join against the ADOM bound of the negated columns.
+            bound = adom ** max(len(f.free_variables()), 1)
+            return (cost + card + bound, bound)
+        if isinstance(f, And):
+            costs_cards = [go(p) for p in f.parts]
+            cost = sum(c for c, _ in costs_cards)
+            seen: set[str] = set()
+            card = 1.0
+            for part, (_, k) in zip(f.parts, costs_cards):
+                card *= k
+                shared = part.free_variables() & seen
+                card /= adom ** len(shared)  # equi-join selectivity guess
+                seen |= part.free_variables()
+                card = max(card, 1.0)
+            return (cost + card, card)
+        if isinstance(f, Or):
+            costs_cards = [go(p) for p in f.parts]
+            return (
+                sum(c for c, _ in costs_cards),
+                sum(k for _, k in costs_cards),
+            )
+        if isinstance(f, (Exists, Forall)):
+            cost, card = go(f.body)
+            if isinstance(f, Forall):
+                # forall adom x: phi == not exists adom x: not phi — two
+                # differences against the bound on top of the body.
+                bound = adom ** max(len(f.free_variables()), 1)
+                return (cost + card + 2 * bound, bound)
+            return (cost + card, max(card / adom, 1.0))
+        raise EvaluationError(f"cannot cost formula node {f!r}")
+
+    cost, _ = go(formula)
+    return cost
+
+
 # ------------------------------------------------------------------- planner
 
 
@@ -335,8 +449,9 @@ class Planner:
     ----------
     structure, database:
         The evaluation context (alphabets must match).
-    ceiling, bias:
-        Overrides for :data:`DIRECT_COST_CEILING` / :data:`DIRECT_BIAS`.
+    ceiling, bias, algebra_setup:
+        Overrides for :data:`DIRECT_COST_CEILING` / :data:`DIRECT_BIAS` /
+        :data:`ALGEBRA_SETUP_COST`.
     """
 
     def __init__(
@@ -345,6 +460,7 @@ class Planner:
         database: Database,
         ceiling: float = DIRECT_COST_CEILING,
         bias: float = DIRECT_BIAS,
+        algebra_setup: float = ALGEBRA_SETUP_COST,
     ):
         if structure.alphabet != database.alphabet:
             raise EvaluationError("structure and database alphabets differ")
@@ -352,6 +468,7 @@ class Planner:
         self.database = database
         self.ceiling = ceiling
         self.bias = bias
+        self.algebra_setup = algebra_setup
 
     # ------------------------------------------------------------- planning
 
@@ -365,6 +482,8 @@ class Planner:
         METRICS.inc("planner.plans")
         if force == "direct":
             return self._forced_direct(formula, slack)
+        if force == "algebra":
+            return self._forced_algebra(formula, slack)
         if force == "automata":
             return self._make_plan(
                 formula,
@@ -417,13 +536,32 @@ class Planner:
             automata_cost = estimate_automata_cost(
                 formula, self.structure, self.database
             )
-            if direct_cost <= min(self.ceiling, automata_cost * self.bias):
+            algebra_cost = estimate_algebra_cost(
+                formula, self.structure, self.database, effective
+            )
+            if algebra_cost != _INF:
+                algebra_cost += self.algebra_setup
+            if direct_cost <= min(
+                self.ceiling, automata_cost * self.bias, algebra_cost
+            ):
                 plan = self._make_plan(
                     formula,
                     engine="direct",
                     reason=(
                         "restricted quantifiers, anchored output, and a small "
                         f"enumeration domain (≈{_fmt_cost(direct_cost)} checks)"
+                    ),
+                    forced=False,
+                    slack=effective,
+                )
+            elif algebra_cost <= min(direct_cost, automata_cost * self.bias):
+                plan = self._make_plan(
+                    formula,
+                    engine="algebra",
+                    reason=(
+                        "ADOM-only collapsed query: set-at-a-time hash joins "
+                        f"estimated cheapest (≈{_fmt_cost(algebra_cost)} row "
+                        f"ops vs ≈{_fmt_cost(direct_cost)} direct checks)"
                     ),
                     forced=False,
                     slack=effective,
@@ -470,6 +608,31 @@ class Planner:
             slack=collapsed.slack,
         )
 
+    def _forced_algebra(self, formula: Formula, slack: Optional[int]) -> Plan:
+        # Same restricted semantics as a forced direct engine: collapse
+        # NATURAL quantifiers (default slack 1), then compile to RA(M).
+        # Fail here, at plan time, if the collapsed formula still is not
+        # compilable — a clearer error than one mid-execution.
+        from repro.algebra.compile import CompileError, is_collapsed_form
+        from repro.eval.collapse import collapse
+        from repro.logic.transform import flatten_terms
+
+        effective = 1 if slack is None else slack
+        collapsed = collapse(formula, self.structure, slack=effective)
+        if not is_collapsed_form(flatten_terms(collapsed.formula)):
+            raise CompileError(
+                "algebra engine needs a collapsed-form query: database "
+                "relations occur under non-ADOM quantifiers even after "
+                "collapsing"
+            )
+        return self._make_plan(
+            collapsed.formula,
+            engine="algebra",
+            reason="engine forced by caller (formula collapsed)",
+            forced=True,
+            slack=collapsed.slack,
+        )
+
     # ------------------------------------------------------------ plan build
 
     def _make_plan(
@@ -488,6 +651,11 @@ class Planner:
         automata_cost = estimate_automata_cost(
             formula, self.structure, self.database
         )
+        algebra_cost = estimate_algebra_cost(
+            formula, self.structure, self.database, slack
+        )
+        if algebra_cost != _INF:
+            algebra_cost += self.algebra_setup
         db = self.database
         return Plan(
             engine=engine,
@@ -498,6 +666,7 @@ class Planner:
             structure=self.structure,
             direct_cost=direct_cost,
             automata_cost=automata_cost,
+            algebra_cost=algebra_cost,
             root=self._node(formula, slack),
             quantifier_kinds=tuple(
                 sorted(k.value for k in formula.quantifier_kinds())

@@ -16,6 +16,8 @@ from repro.engine import AutomatonCache, global_cache
 from repro.engine.metrics import METRICS
 from repro.service import QueryService, RunRequest, ServiceConfig
 
+pytestmark = pytest.mark.slow
+
 N_THREADS = 8
 ROUNDS = 3  # each thread runs every query this many times
 

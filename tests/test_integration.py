@@ -53,6 +53,7 @@ class TestSqlPipeline:
         via_direct = run_translated(translated, DB, DirectEngine)
         assert via_automata == via_direct, sql
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("sql", SQL_QUERIES)
     def test_algebra_agrees_on_sql(self, sql):
         translated = translate_select(sql, DB.schema)

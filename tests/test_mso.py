@@ -118,6 +118,7 @@ class TestMsoToDfa:
             mso_to_dfa(Label("x", "1"), BINARY)
 
 
+@pytest.mark.slow
 class TestProp5:
     """MSO 3-colorability through RC(S_len) on width-1 databases."""
 

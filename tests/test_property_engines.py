@@ -1,15 +1,22 @@
-"""Differential property tests: the two engines on random formulas.
+"""Differential property tests: the engines on random formulas.
 
-For restricted-quantifier formulas both engines implement the same
-semantics by definition, so any disagreement is a bug in one of them —
-most likely in the convolution automata (complement/projection/padding),
-which is exactly where DESIGN.md locates the correctness risk.  Hypothesis
-generates random formulas and random databases; the engines must agree.
+For restricted-quantifier formulas the automata and direct engines
+implement the same semantics by definition, so any disagreement is a bug
+in one of them — most likely in the convolution automata
+(complement/projection/padding), which is exactly where DESIGN.md locates
+the correctness risk.  Hypothesis generates random formulas and random
+databases; the engines must agree.
+
+The set-at-a-time algebra engine joins the comparison on its eligibility
+regime (ADOM-only quantifiers, anchored outputs — the planner's rule 3):
+there, Theorem 4's calculus↔algebra equivalence says all three engines
+return identical results.
 """
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core import Query
 from repro.database import Database
 from repro.eval import AutomataEngine, DirectEngine
 from repro.logic.dsl import (
@@ -126,3 +133,73 @@ class TestEngineAgreement:
         direct = DirectEngine(structure, db, slack=0).run(guarded)
         assert auto.is_finite()
         assert auto.as_set() == direct.as_set(), str(guarded)
+
+
+def adom_formulas(variables: list[str], depth: int) -> st.SearchStrategy[Formula]:
+    """Like :func:`formulas` but quantifiers are ADOM only — the algebra
+    engine's eligibility regime (collapsed form is automatic: database
+    atoms use bare variables and never sit under a non-ADOM quantifier)."""
+    base = atoms(variables)
+    if depth == 0:
+        return base
+    sub = adom_formulas(variables, depth - 1)
+    quantifier = st.builds(
+        lambda q, v, f: q(v, f),
+        st.sampled_from([exists_adom, forall_adom]),
+        st.sampled_from(VARS),
+        sub,
+    )
+    boolean = (
+        st.builds(lambda a, b: and_(a, b), sub, sub)
+        | st.builds(lambda a, b: or_(a, b), sub, sub)
+        | st.builds(not_, sub)
+    )
+    return base | quantifier | boolean
+
+
+def _anchor(formula: Formula) -> Formula:
+    """Conjoin ``R(v)`` for every free variable, so every engine's output
+    ranges over the active domain and all three provably agree."""
+    for v in sorted(formula.free_variables(), reverse=True):
+        formula = and_(rel("R", v), formula)
+    return formula
+
+
+class TestThreeEngineAgreement:
+    """direct == automata == algebra on the algebra engine's regime."""
+
+    ENGINES = ("automata", "direct", "algebra")
+
+    @settings(max_examples=50, deadline=None)
+    @given(formula=adom_formulas(VARS, depth=2), db=databases)
+    def test_open_queries_identical_results(self, formula, db):
+        query = Query(_anchor(formula), structure="S_len")
+        results = {e: query.result(db, engine=e) for e in self.ENGINES}
+        variables = {e: r.variables for e, r in results.items()}
+        assert len(set(variables.values())) == 1, variables
+        rows = {e: r.as_set() for e, r in results.items()}
+        assert rows["automata"] == rows["direct"] == rows["algebra"], (
+            str(query.formula)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(formula=adom_formulas(VARS, depth=2), db=databases)
+    def test_sentences_identical_answers(self, formula, db):
+        closed = formula
+        for v in sorted(formula.free_variables(), reverse=True):
+            closed = exists_adom(v, and_(rel("R", v), formula))
+            formula = closed
+        query = Query(closed, structure="S_len")
+        answers = {
+            e: query.result(db, engine=e).as_bool() for e in self.ENGINES
+        }
+        assert len(set(answers.values())) == 1, (str(closed), answers)
+
+    @settings(max_examples=25, deadline=None)
+    @given(formula=adom_formulas(VARS, depth=1), db=databases)
+    def test_auto_planner_matches_forced_engines(self, formula, db):
+        """Whatever the planner picks agrees with every forced engine."""
+        query = Query(_anchor(formula), structure="S_len")
+        auto = query.result(db).as_set()
+        for engine in self.ENGINES:
+            assert auto == query.result(db, engine=engine).as_set(), engine
