@@ -4,13 +4,19 @@
 PY := PYTHONPATH=src python
 SMOKE_DIR := .bench-smoke
 
-.PHONY: test test-full docs-check bench-smoke bench-algebra bench-algebra-smoke \
-	bench-full bench-service serve-smoke clean
+.PHONY: test test-full docs-check lint-dispatch bench-smoke bench-algebra \
+	bench-algebra-smoke bench-full bench-service serve-smoke clean
 
-## Fast local loop: skip @pytest.mark.slow tests, then smoke the algebra
-## join benchmark (the perf claim that is cheapest to regress silently).
-test: bench-algebra-smoke
+## Fast local loop: dispatch lint, skip @pytest.mark.slow tests, then smoke
+## the algebra join benchmark (the perf claim cheapest to regress silently).
+test: lint-dispatch bench-algebra-smoke
 	$(PY) -m pytest -x -q -m "not slow"
+
+## Fail if engine-name literal comparisons (== "automata"/"direct"/
+## "algebra") appear outside src/repro/engine/ — the backend registry
+## must stay the only dispatch path.
+lint-dispatch:
+	$(PY) tools/lint_dispatch.py
 
 ## The whole suite, slow tests included (what CI should run).
 test-full:

@@ -33,6 +33,7 @@ import sys
 
 from repro import Query, StringDatabase
 from repro.core.query import definable_language, language_is_star_free
+from repro.engine.backend import backend_names
 from repro.errors import EvaluationTimeout, ReproError, UnsafeQueryError
 from repro.eval import DirectEngine
 from repro.sql import translate_select
@@ -85,10 +86,6 @@ def load_database(path: str) -> StringDatabase:
     return StringDatabase(spec.get("alphabet", "01"), relations)
 
 
-def _auto_engine(engine: str):
-    return None if engine == "auto" else engine
-
-
 def _check_relations(q: Query, db: StringDatabase) -> None:
     missing = sorted(set(q.formula.relation_names()) - set(db.db.relation_names))
     if missing:
@@ -105,7 +102,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     _check_relations(q, db)
     table = q.run(
         db,
-        engine=_auto_engine(args.engine),
+        engine=args.engine,
         limit=args.limit,
         timeout=args.timeout,
     )
@@ -119,7 +116,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
     db = load_database(args.db)
     q = Query(args.query, structure=args.structure, alphabet=db.alphabet)
     _check_relations(q, db)
-    report = q.explain(db, engine=_auto_engine(args.engine), timeout=args.timeout)
+    report = q.explain(db, engine=args.engine, timeout=args.timeout)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -218,11 +215,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="evaluate a calculus query")
     common(p_run)
+    # Engine names come from the backend registry, not a hardcoded list:
+    # unknown names are rejected by the registry itself with the full
+    # list of registered backends (clean exit-1 error).
+    engines = ", ".join(backend_names())
     p_run.add_argument(
         "--engine",
         default="auto",
-        choices=["auto", "automata", "direct", "algebra"],
-        help="evaluation engine (default: cost-based planner)",
+        metavar="ENGINE",
+        help=f"evaluation engine: auto (cost-based planner) or one of {engines}",
     )
     p_run.add_argument("--limit", type=int, default=None,
                        help="sample size for infinite outputs")
@@ -243,8 +244,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument(
         "--engine",
         default="auto",
-        choices=["auto", "automata", "direct", "algebra"],
-        help="force an engine instead of the planner's choice",
+        metavar="ENGINE",
+        help=f"force an engine ({engines}) instead of the planner's choice",
     )
     p_explain.add_argument(
         "--json", action="store_true", help="emit the report as JSON"

@@ -288,10 +288,16 @@ def compile_for_execution(
     """Compile + ``optimize_for_execution``, with a module-level cache.
 
     Returns the original :class:`CompiledQuery` (for its output columns)
-    and the fused physical plan.
+    and the fused physical plan.  Keyed on the canonical fingerprint
+    (:mod:`repro.logic.canonical`), so alpha-equivalent and
+    conjunct-reordered spellings share the compiled plan — sound because
+    alpha-equivalent formulas have identical free variables, hence
+    identical output columns, and execution depends only on the plan.
     """
+    from repro.logic.canonical import canonical_fingerprint
+
     key = (
-        str(formula),
+        canonical_fingerprint(formula),
         structure.name,
         structure.alphabet.symbols,
         slack,

@@ -24,6 +24,7 @@ from repro.automata.aperiodic import is_star_free
 from repro.automata.dfa import DFA
 from repro.database.instance import Database
 from repro.database.schema import Schema
+from repro.engine.backend import resolve_engine
 from repro.engine.cache import global_cache
 from repro.engine.deadline import deadline_scope
 from repro.engine.explain import Explain, execute_plan, explain_query
@@ -207,10 +208,9 @@ class Query:
         hit/miss counters.
         """
         db = database.db if isinstance(database, StringDatabase) else database
-        force = None if engine in (None, "auto") else engine
         with deadline_scope(timeout):
             plan = Planner(self.structure, db).plan(
-                self.formula, slack=slack, force=force
+                self.formula, slack=slack, force=resolve_engine(engine)
             )
             return execute_plan(plan, db, cache=global_cache())
 
@@ -222,8 +222,9 @@ class Query:
     ) -> Plan:
         """The planner's decision for this query on ``database`` (no run)."""
         db = database.db if isinstance(database, StringDatabase) else database
-        force = None if engine in (None, "auto") else engine
-        return Planner(self.structure, db).plan(self.formula, slack=slack, force=force)
+        return Planner(self.structure, db).plan(
+            self.formula, slack=slack, force=resolve_engine(engine)
+        )
 
     def explain(
         self,
@@ -241,16 +242,31 @@ class Query:
         ``timeout`` bounds the traced run like :meth:`run`'s.
         """
         db = database.db if isinstance(database, StringDatabase) else database
-        force = None if engine in (None, "auto") else engine
         return explain_query(
-            self.formula, self.structure, db, engine=force, slack=slack,
-            timeout=timeout,
+            self.formula, self.structure, db, engine=resolve_engine(engine),
+            slack=slack, timeout=timeout,
         )
 
-    def decide(self, database: Union[StringDatabase, Database]) -> bool:
-        """Truth value of a Boolean query (sentence)."""
-        db = database.db if isinstance(database, StringDatabase) else database
-        return AutomataEngine(self.structure, db).decide(self.formula)
+    def decide(
+        self,
+        database: Union[StringDatabase, Database],
+        engine: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> bool:
+        """Truth value of a Boolean query (sentence).
+
+        Goes through the planner like :meth:`result` — forced/auto engine
+        selection, metrics, caching, and deadline scopes all apply to
+        Boolean queries too (historically this constructed the automata
+        engine directly, bypassing all of that).
+        """
+        if self.formula.free_variables():
+            raise EvaluationError(
+                "decide() needs a Boolean query (sentence); "
+                f"{sorted(self.formula.free_variables())} are free — "
+                "use run() or result() for queries with output columns"
+            )
+        return self.result(database, engine=engine, timeout=timeout).as_bool()
 
     # -------------------------------------------------------------- safety
 

@@ -3,9 +3,16 @@
 This package is the layer between :class:`repro.core.query.Query` and the
 evaluators in :mod:`repro.eval` / :mod:`repro.algebra.exec`.  It contains:
 
-* :mod:`repro.engine.planner` — the cost-based planner that picks the
-  direct, automata, or set-at-a-time algebra engine per query
-  (``Query.run(db)`` with no ``engine=`` argument goes through it);
+* :mod:`repro.engine.backend` — the :class:`~repro.engine.backend.
+  EngineBackend` interface and the process-wide **backend registry**: the
+  direct, automata, and algebra engines are registered backends, and
+  every layer (planner, EXPLAIN, ``Query``, the service, the CLI)
+  resolves engine names through :func:`~repro.engine.backend.
+  resolve_engine` — adding engine #4 is one ``register_backend`` call;
+* :mod:`repro.engine.planner` — the cost-based planner that iterates the
+  registry (eligibility gate, then cost argmin) per query
+  (``Query.run(db)`` with no ``engine=`` argument goes through it),
+  canonicalizing each formula first (:mod:`repro.logic.canonical`);
 * :mod:`repro.engine.cache` — the LRU automaton cache that memoizes
   subformula compilations across runs and interns database-independent
   presentation automata across databases;
@@ -76,12 +83,15 @@ __all__ = [
     "AlgebraTrace",
     "AutomatonCache",
     "Deadline",
+    "EngineBackend",
     "Explain",
     "ExplainNode",
     "MetricsRegistry",
     "Plan",
     "PlanNode",
     "Planner",
+    "all_backends",
+    "backend_names",
     "checkpoint",
     "current_deadline",
     "database_fingerprint",
@@ -89,8 +99,12 @@ __all__ = [
     "execute_plan",
     "explain_query",
     "formula_key",
+    "get_backend",
     "global_cache",
     "plan_query",
+    "register_backend",
+    "resolve_engine",
+    "unregister_backend",
 ]
 
 _LAZY = {
@@ -103,6 +117,13 @@ _LAZY = {
     "ExplainNode": "repro.engine.explain",
     "execute_plan": "repro.engine.explain",
     "explain_query": "repro.engine.explain",
+    "EngineBackend": "repro.engine.backend",
+    "all_backends": "repro.engine.backend",
+    "backend_names": "repro.engine.backend",
+    "get_backend": "repro.engine.backend",
+    "register_backend": "repro.engine.backend",
+    "resolve_engine": "repro.engine.backend",
+    "unregister_backend": "repro.engine.backend",
 }
 
 

@@ -6,13 +6,18 @@ minimizations — by far the dominant cost of the automata engine.  The
 results are immutable, so they can be shared freely; this module provides
 the session-wide store that makes repeated work free:
 
-* **keys** are *structural*: the canonical text of the (term-flattened)
-  subformula plus the structure name, alphabet, and slack.  Subformulas
-  that mention database relations additionally carry a **database
-  fingerprint** (a SHA-1 over the canonicalized instance), so a cached
-  entry is only reused against the identical database;
-* subformulas that do *not* mention any database relation (pure
-  structure/presentation automata like ``x <<= y & last(y, '0')``) are
+* **keys** are *structural*: the canonical fingerprint of the
+  (term-flattened) subformula — alpha-invariant and conjunct-order
+  invariant, see :mod:`repro.logic.canonical` — plus the structure name,
+  alphabet, and slack.  Subformulas
+  whose value depends on the database — they mention a relation, or a
+  restricted (ADOM/PREFIX/LENGTH) quantifier ranges over the active
+  domain (:meth:`repro.logic.formulas.Formula.database_dependent`) —
+  additionally carry a **database fingerprint** (a SHA-1 over the
+  canonicalized instance), so a cached entry is only reused against the
+  identical database;
+* database-independent subformulas (pure structure/presentation automata
+  like ``x <<= y & last(y, '0')``, NATURAL quantifiers included) are
   keyed **without** the fingerprint — they are interned once per session
   and shared across every database;
 * the store is **LRU-bounded** (default 256 entries) and counts hits /
@@ -34,7 +39,8 @@ Usage::
     cache.clear()       # drop entries, keep counters
     cache.resize(1024)  # tune capacity
 
-Stdlib-only on purpose: importable from any layer without cycles.
+Depends only on the stdlib and :mod:`repro.logic.canonical` on purpose:
+importable from any engine layer without cycles.
 """
 
 from __future__ import annotations
@@ -45,6 +51,7 @@ from collections import OrderedDict
 from typing import Any, Hashable, Optional
 
 from repro.engine.metrics import METRICS
+from repro.logic.canonical import canonical_fingerprint
 
 #: Default number of cached automata (per cache instance).
 DEFAULT_MAXSIZE = 256
@@ -179,11 +186,17 @@ def formula_key(
 ) -> tuple:
     """The structural cache key of one (sub)formula compilation.
 
-    ``db_fingerprint`` must be ``None`` exactly when the formula mentions
-    no database relation — that is what makes pure presentation automata
-    *interned* across databases.  ``stage`` distinguishes value spaces
-    (``"automata"`` subformula compilations vs ``"direct-result"`` whole
-    query results).
+    The formula component is its **canonical fingerprint**
+    (:func:`repro.logic.canonical.canonical_fingerprint`), so
+    alpha-equivalent and conjunct-reordered spellings share one entry.
+    ``db_fingerprint`` must be ``None`` exactly when the formula is
+    database-independent (no relation atoms *and* no restricted
+    quantifiers, :meth:`repro.logic.formulas.Formula.database_dependent`)
+    — that is what makes pure presentation automata
+    *interned* across databases.  ``stage`` names the backend value space
+    (``"automata"`` subformula compilations vs ``"direct-result"`` /
+    ``"algebra-result"`` whole query results) — together the key is
+    (canonical fingerprint, db fingerprint, backend stage).
     """
     return (
         stage,
@@ -191,7 +204,7 @@ def formula_key(
         alphabet_symbols,
         slack,
         db_fingerprint,
-        str(formula),
+        canonical_fingerprint(formula),
     )
 
 

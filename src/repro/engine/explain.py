@@ -36,12 +36,7 @@ from typing import Optional
 
 from repro.database.instance import Database
 from repro.engine import metrics as metrics_mod
-from repro.engine.cache import (
-    AutomatonCache,
-    database_fingerprint,
-    formula_key,
-    global_cache,
-)
+from repro.engine.cache import AutomatonCache, global_cache
 from repro.engine.deadline import deadline_scope
 from repro.engine.metrics import METRICS
 from repro.engine.planner import Plan, Planner
@@ -177,71 +172,22 @@ def execute_plan(
 ) -> QueryResult:
     """Run a plan's formula through its chosen engine, with caching.
 
-    The automata engine memoizes every subformula compilation in
-    ``cache``; the direct and algebra engines memoize their whole result
-    relation (their intermediate states — per-tuple booleans, hash
-    tables — are not automata).  ``observer`` is a :class:`TraceObserver`
-    for the automata engine or an :class:`AlgebraTrace` for the algebra
-    engine.
+    How to cache is the backend's business (the automata backend memoizes
+    every subformula compilation in ``cache``; direct and algebra memoize
+    their whole result relation — their intermediate states are not
+    automata).  ``observer`` is whatever the backend's
+    :meth:`~repro.engine.backend.EngineBackend.trace_observer` returned,
+    or ``None`` outside EXPLAIN.
     """
-    from repro.eval.automata_engine import AutomataEngine
-    from repro.eval.direct import DirectEngine
+    from repro.engine.backend import get_backend
 
     if cache is None:
         cache = global_cache()
-    structure = plan.structure
+    backend = get_backend(plan.engine)
     METRICS.inc(f"engine.{plan.engine}.runs")
     t0 = time.perf_counter()
     try:
-        if plan.engine == "automata":
-            engine = AutomataEngine(
-                structure, database, slack=plan.slack, cache=cache, observer=observer
-            )
-            return engine.run(plan.formula)
-        if plan.engine == "algebra":
-            from repro.algebra.exec import run_algebra
-            from repro.automatic.relation import RelationAutomaton
-
-            key = formula_key(
-                plan.formula,
-                structure.name,
-                structure.alphabet.symbols,
-                plan.slack,
-                database_fingerprint(database),
-                stage="algebra-result",
-            )
-            cached = cache.get(key)
-            if cached is not None:
-                if isinstance(observer, AlgebraTrace):
-                    observer.cached = True
-                return QueryResult(*cached)
-            columns, rows, stats = run_algebra(
-                plan.formula, structure, database, slack=plan.slack
-            )
-            if isinstance(observer, AlgebraTrace):
-                observer.stats = stats
-            relation = RelationAutomaton.from_tuples(
-                structure.alphabet, len(columns), rows
-            )
-            result = QueryResult(columns, relation)
-            cache.put(key, (result.variables, result.relation))
-            return result
-        # Direct engine: cache the full result keyed on the collapsed
-        # formula + slack + database fingerprint.
-        key = formula_key(
-            plan.formula,
-            structure.name,
-            structure.alphabet.symbols,
-            plan.slack,
-            database_fingerprint(database),
-            stage="direct-result",
-        )
-        cached = cache.get(key)
-        if cached is not None:
-            return QueryResult(*cached)
-        result = DirectEngine(structure, database, slack=plan.slack).run(plan.formula)
-        cache.put(key, (result.variables, result.relation))
-        return result
+        return backend.execute(plan, database, cache, observer)
     finally:
         METRICS.add_time(f"engine.{plan.engine}.seconds", time.perf_counter() - t0)
 
@@ -316,29 +262,26 @@ def explain_query(
     :mod:`repro.engine.deadline`, raising
     :class:`~repro.errors.EvaluationTimeout` once exceeded.
     """
+    from repro.engine.backend import get_backend
+
     if cache is None:
         cache = global_cache()
     with deadline_scope(timeout):
         plan = Planner(structure, database).plan(formula, slack=slack, force=engine)
-        observer: object = None
-        if plan.engine == "automata":
-            observer = TraceObserver()
-        elif plan.engine == "algebra":
-            observer = AlgebraTrace()
+        backend = get_backend(plan.engine)
+        observer = backend.trace_observer()
         before = METRICS.snapshot()
         t0 = time.perf_counter()
         result = execute_plan(plan, database, cache=cache, observer=observer)
         seconds = time.perf_counter() - t0
     counters = metrics_mod.delta(before, METRICS.snapshot())
-    if isinstance(observer, TraceObserver) and observer.root is not None:
-        root = observer.root
-    elif isinstance(observer, AlgebraTrace) and observer.stats is not None:
-        root = op_stats_to_explain(observer.stats)
-    else:
+    root = backend.trace_tree(plan, observer, seconds)
+    if root is None:
+        # Backends without per-node instrumentation (e.g. the direct
+        # engine, which evaluates per candidate tuple): the planner's
+        # static tree with the total wall time on the root.
         root = plan_tree_to_explain(plan.root)
         root.seconds = seconds
-        if isinstance(observer, AlgebraTrace) and observer.cached:
-            root.cache_hit = True
     finite = result.is_finite()
     return Explain(
         plan=plan,

@@ -19,7 +19,13 @@ engine="direct")``).  The planner replaces that choice: it inspects the
 formula (quantifier kinds, negation depth, structure) and the database
 (active-domain size, prefix-closure size, maximum string length) and
 selects the engine expected to be cheaper — *without ever changing the
-answer*.  The selection is deliberately conservative:
+answer*.  The engines themselves live behind the
+:mod:`repro.engine.backend` registry; the planner knows no engine by
+name.  It canonicalizes the formula (:mod:`repro.logic.canonical` —
+alpha-renaming plus sorted commutative connectives, so equivalent
+spellings share one plan and one set of cache entries), then iterates
+the registered backends: an **eligibility gate** first, then a **cost
+argmin** over the survivors.  The gates are deliberately conservative:
 
 1. a formula with NATURAL quantifiers always goes to the automata engine
    (the reference natural semantics; the direct engine cannot run it);
@@ -54,13 +60,19 @@ keep going direct.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.database.instance import Database
+from repro.engine.backend import (
+    EngineBackend,
+    all_backends,
+    get_backend,
+    resolve_engine,
+)
 from repro.engine.metrics import METRICS
 from repro.errors import EvaluationError
+from repro.logic.canonical import canonical_fingerprint, canonicalize
 from repro.logic.formulas import (
     And,
     Atom,
@@ -129,25 +141,44 @@ class PlanNode:
 class Plan:
     """The planner's decision for one query on one database.
 
-    ``formula`` is the formula the chosen engine will actually run (for a
-    forced direct engine this is the *collapsed* formula); ``slack`` is
-    the restricted-domain headroom both engines would use.
+    ``formula`` is the *canonicalized* formula the chosen engine will
+    actually run (for a forced direct/algebra engine additionally
+    collapsed); ``slack`` is the restricted-domain headroom the engines
+    use.  ``engine`` names a backend registered in
+    :mod:`repro.engine.backend` — resolve it with
+    :func:`~repro.engine.backend.get_backend`, never by comparing the
+    string.  ``costs`` holds one display-unit estimate per registered
+    backend (``inf`` where the backend's regime does not apply);
+    ``fingerprint`` is the canonical structural fingerprint that keys
+    every cache entry this plan will touch.
     """
 
-    engine: str  # "automata" | "direct" | "algebra"
+    engine: str
     reason: str
     forced: bool
     slack: int
     formula: Formula
     structure: StringStructure
-    direct_cost: float
-    automata_cost: float
+    costs: dict[str, float]
     root: PlanNode
     quantifier_kinds: tuple[str, ...]
     negation_depth: int
     anchored_free: bool
-    algebra_cost: float = _INF
+    fingerprint: str = ""
     db_stats: dict[str, object] = field(default_factory=dict)
+
+    # Legacy accessors (pre-registry plans stored one field per engine).
+    @property
+    def direct_cost(self) -> float:
+        return self.costs.get("direct", _INF)
+
+    @property
+    def automata_cost(self) -> float:
+        return self.costs.get("automata", _INF)
+
+    @property
+    def algebra_cost(self) -> float:
+        return self.costs.get("algebra", _INF)
 
     def to_dict(self) -> dict:
         return {
@@ -156,9 +187,11 @@ class Plan:
             "forced": self.forced,
             "slack": self.slack,
             "structure": self.structure.name,
+            "costs": dict(self.costs),
             "direct_cost": self.direct_cost,
             "automata_cost": self.automata_cost,
             "algebra_cost": self.algebra_cost,
+            "fingerprint": self.fingerprint,
             "quantifier_kinds": list(self.quantifier_kinds),
             "negation_depth": self.negation_depth,
             "anchored_free": self.anchored_free,
@@ -168,12 +201,12 @@ class Plan:
 
     def render(self) -> str:
         mode = "forced" if self.forced else "auto"
+        shown = "  ".join(
+            f"{name}≈{_fmt_cost(self.costs[name])}" for name in sorted(self.costs)
+        )
         lines = [
             f"engine: {self.engine} ({mode}) — {self.reason}",
-            f"estimated cost: direct≈{_fmt_cost(self.direct_cost)}"
-            f"  automata≈{_fmt_cost(self.automata_cost)}"
-            f"  algebra≈{_fmt_cost(self.algebra_cost)}"
-            f"  (slack={self.slack})",
+            f"estimated cost: {shown}  (slack={self.slack})",
             self.root.render(),
         ]
         return "\n".join(lines)
@@ -478,162 +511,83 @@ class Planner:
         slack: Optional[int] = None,
         force: Optional[str] = None,
     ) -> Plan:
-        """Choose an engine (or honor ``force``) and build the plan tree."""
-        METRICS.inc("planner.plans")
-        if force == "direct":
-            return self._forced_direct(formula, slack)
-        if force == "algebra":
-            return self._forced_algebra(formula, slack)
-        if force == "automata":
-            return self._make_plan(
-                formula,
-                engine="automata",
-                reason="engine forced by caller",
-                forced=True,
-                slack=slack if slack is not None else 0,
-            )
-        if force is not None:
-            raise EvaluationError(f"unknown engine {force!r}")
-        return self._auto(formula, slack)
+        """Choose a backend (or honor ``force``) and build the plan tree.
 
-    def _auto(self, formula: Formula, slack: Optional[int]) -> Plan:
-        effective = slack if slack is not None else 0
-        kinds = formula.quantifier_kinds()
-        anchored = anchored_free_variables(formula)
-        free = formula.free_variables()
-        if QuantKind.NATURAL in kinds:
-            plan = self._make_plan(
-                formula,
-                engine="automata",
-                reason="NATURAL quantifiers need the exact automata engine",
-                forced=False,
+        ``force`` is resolved through the backend registry — an unknown
+        name raises :class:`~repro.errors.EvaluationError` listing the
+        registered backends.  The formula is canonicalized first, so
+        alpha-equivalent and conjunct-reordered spellings produce the
+        same plan and share every downstream cache entry.
+        """
+        METRICS.inc("planner.plans")
+        formula = canonicalize(formula)
+        force = resolve_engine(force)
+        if force is not None:
+            backend = get_backend(force)
+            prepared, effective, reason = backend.prepare_forced(
+                formula, self.structure, slack
+            )
+            METRICS.inc(f"planner.backend.{backend.name}.forced")
+            return self._make_plan(
+                prepared,
+                engine=backend.name,
+                reason=reason,
+                forced=True,
                 slack=effective,
             )
-        elif free and not free <= anchored:
-            loose = sorted(free - anchored)
-            plan = self._make_plan(
-                formula,
-                engine="automata",
-                reason=(
-                    f"free variable(s) {loose} not anchored in a positive "
-                    "database atom; direct enumeration could truncate the output"
-                ),
-                forced=False,
-                slack=effective,
-            )
-        elif QuantKind.ADOM in kinds and not self.database.adom:
-            plan = self._make_plan(
-                formula,
-                engine="automata",
-                reason="empty active domain: ADOM anchoring is vacuous",
-                forced=False,
-                slack=effective,
-            )
-        else:
-            direct_cost = estimate_direct_cost(
-                formula, self.structure, self.database, effective
-            )
-            automata_cost = estimate_automata_cost(
-                formula, self.structure, self.database
-            )
-            algebra_cost = estimate_algebra_cost(
-                formula, self.structure, self.database, effective
-            )
-            if algebra_cost != _INF:
-                algebra_cost += self.algebra_setup
-            if direct_cost <= min(
-                self.ceiling, automata_cost * self.bias, algebra_cost
-            ):
-                plan = self._make_plan(
-                    formula,
-                    engine="direct",
-                    reason=(
-                        "restricted quantifiers, anchored output, and a small "
-                        f"enumeration domain (≈{_fmt_cost(direct_cost)} checks)"
-                    ),
-                    forced=False,
-                    slack=effective,
-                )
-            elif algebra_cost <= min(direct_cost, automata_cost * self.bias):
-                plan = self._make_plan(
-                    formula,
-                    engine="algebra",
-                    reason=(
-                        "ADOM-only collapsed query: set-at-a-time hash joins "
-                        f"estimated cheapest (≈{_fmt_cost(algebra_cost)} row "
-                        f"ops vs ≈{_fmt_cost(direct_cost)} direct checks)"
-                    ),
-                    forced=False,
-                    slack=effective,
-                )
-            elif direct_cost > self.ceiling:
-                plan = self._make_plan(
-                    formula,
-                    engine="automata",
-                    reason=(
-                        f"restricted domains too large for enumeration "
-                        f"(≈{_fmt_cost(direct_cost)} checks > ceiling "
-                        f"{_fmt_cost(self.ceiling)})"
-                    ),
-                    forced=False,
-                    slack=effective,
-                )
-            else:
-                plan = self._make_plan(
-                    formula,
-                    engine="automata",
-                    reason=(
-                        "automata compilation estimated cheaper than "
-                        f"enumeration (≈{_fmt_cost(automata_cost)} states vs "
-                        f"≈{_fmt_cost(direct_cost)} checks)"
-                    ),
-                    forced=False,
-                    slack=effective,
-                )
-        METRICS.inc(f"planner.chose_{plan.engine}")
+        plan = self._auto(formula, slack)
+        METRICS.inc(f"planner.backend.{plan.engine}.chosen")
         return plan
 
-    def _forced_direct(self, formula: Formula, slack: Optional[int]) -> Plan:
-        # Mirror the historical Query.result(engine="direct") semantics:
-        # collapse NATURAL quantifiers, default slack 1.
-        from repro.eval.collapse import collapse
-
-        effective = 1 if slack is None else slack
-        collapsed = collapse(formula, self.structure, slack=effective)
-        return self._make_plan(
-            collapsed.formula,
-            engine="direct",
-            reason="engine forced by caller (formula collapsed)",
-            forced=True,
-            slack=collapsed.slack,
-        )
-
-    def _forced_algebra(self, formula: Formula, slack: Optional[int]) -> Plan:
-        # Same restricted semantics as a forced direct engine: collapse
-        # NATURAL quantifiers (default slack 1), then compile to RA(M).
-        # Fail here, at plan time, if the collapsed formula still is not
-        # compilable — a clearer error than one mid-execution.
-        from repro.algebra.compile import CompileError, is_collapsed_form
-        from repro.eval.collapse import collapse
-        from repro.logic.transform import flatten_terms
-
-        effective = 1 if slack is None else slack
-        collapsed = collapse(formula, self.structure, slack=effective)
-        if not is_collapsed_form(flatten_terms(collapsed.formula)):
-            raise CompileError(
-                "algebra engine needs a collapsed-form query: database "
-                "relations occur under non-ADOM quantifiers even after "
-                "collapsing"
+    def _auto(self, formula: Formula, slack: Optional[int]) -> Plan:
+        """Registry iteration: eligibility gate, then cost argmin."""
+        effective = slack if slack is not None else 0
+        eligible: list[EngineBackend] = []
+        blocked: list[tuple[EngineBackend, str]] = []
+        for backend in all_backends():
+            ok, why = backend.eligible(formula, self.structure, self.database)
+            if ok:
+                eligible.append(backend)
+            else:
+                blocked.append((backend, why))
+                METRICS.inc(f"planner.backend.{backend.name}.ineligible")
+        if not eligible:
+            raise EvaluationError(
+                "no registered backend is eligible for this query "
+                f"({'; '.join(why for _, why in blocked) or 'empty registry'})"
             )
+        if len(eligible) == 1:
+            # No comparison to make; surface why the alternatives dropped
+            # out (the highest-priority blocked backend's reason — for the
+            # built-ins, the direct engine's conservatism rules).
+            chosen = eligible[0]
+            reason = blocked[0][1] if blocked else "only registered backend"
+            return self._make_plan(
+                formula, engine=chosen.name, reason=reason,
+                forced=False, slack=effective,
+            )
+        costs = self._costs(formula, effective)
+        scaled = {b.name: b.decision_cost(costs[b.name], self) for b in eligible}
+        chosen = min(eligible, key=lambda b: (scaled[b.name], b.priority, b.name))
         return self._make_plan(
-            collapsed.formula,
-            engine="algebra",
-            reason="engine forced by caller (formula collapsed)",
-            forced=True,
-            slack=collapsed.slack,
+            formula,
+            engine=chosen.name,
+            reason=chosen.chosen_reason(costs, self),
+            forced=False,
+            slack=effective,
+            costs=costs,
         )
 
     # ------------------------------------------------------------ plan build
+
+    def _costs(self, formula: Formula, slack: int) -> dict[str, float]:
+        """One display-unit estimate per registered backend (inf allowed)."""
+        return {
+            backend.name: backend.estimate_cost(
+                formula, self.structure, self.database, slack, self
+            )
+            for backend in all_backends()
+        }
 
     def _make_plan(
         self,
@@ -642,20 +596,12 @@ class Planner:
         reason: str,
         forced: bool,
         slack: int,
+        costs: Optional[dict[str, float]] = None,
     ) -> Plan:
         anchored = anchored_free_variables(formula)
         free = formula.free_variables()
-        direct_cost = estimate_direct_cost(
-            formula, self.structure, self.database, slack
-        )
-        automata_cost = estimate_automata_cost(
-            formula, self.structure, self.database
-        )
-        algebra_cost = estimate_algebra_cost(
-            formula, self.structure, self.database, slack
-        )
-        if algebra_cost != _INF:
-            algebra_cost += self.algebra_setup
+        if costs is None:
+            costs = self._costs(formula, slack)
         db = self.database
         return Plan(
             engine=engine,
@@ -664,9 +610,8 @@ class Planner:
             slack=slack,
             formula=formula,
             structure=self.structure,
-            direct_cost=direct_cost,
-            automata_cost=automata_cost,
-            algebra_cost=algebra_cost,
+            costs=costs,
+            fingerprint=canonical_fingerprint(formula),
             root=self._node(formula, slack),
             quantifier_kinds=tuple(
                 sorted(k.value for k in formula.quantifier_kinds())

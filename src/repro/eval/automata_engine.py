@@ -80,7 +80,8 @@ class AutomataEngine:
     cache:
         Optional :class:`~repro.engine.cache.AutomatonCache`.  When given,
         every subformula compilation is memoized under its structural key
-        (database-independent for database-free subformulas), so repeated
+        (database-independent for subformulas with no relation atoms and
+        no restricted quantifiers), so repeated
         subformulas — across queries and across sessions of the same
         cache — are compiled once.
     observer:
@@ -153,8 +154,10 @@ class AutomataEngine:
         return result
 
     def _subformula_key(self, f: Formula) -> tuple:
-        """Structural cache key; database-independent for db-free formulas."""
-        if f.relation_names():
+        """Structural cache key; database-independent only when the
+        subformula neither mentions a relation nor restricts a quantifier
+        to the active domain (see :meth:`Formula.database_dependent`)."""
+        if f.database_dependent():
             if self._db_fingerprint is None:
                 self._db_fingerprint = database_fingerprint(self.database)
             fingerprint = self._db_fingerprint

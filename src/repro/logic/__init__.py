@@ -5,6 +5,11 @@ This is the shared query representation consumed by both evaluation engines
 calculus-to-algebra compiler (:mod:`repro.algebra`).
 """
 
+from repro.logic.canonical import (
+    canonical_fingerprint,
+    canonical_serialization,
+    canonicalize,
+)
 from repro.logic.formulas import (
     And,
     Atom,
@@ -67,6 +72,9 @@ __all__ = [
     "Var",
     "all_variable_names",
     "as_term",
+    "canonical_fingerprint",
+    "canonical_serialization",
+    "canonicalize",
     "check_atom",
     "flatten_terms",
     "fresh_variable",

@@ -1,0 +1,223 @@
+"""Canonical formula forms: one identity for alpha-equivalent queries.
+
+Two formulas that differ only in bound-variable names, or in the order of
+commutative conjuncts/disjuncts, denote the same query — but ``str()``-based
+cache keys treat them as distinct, so every cache in the evaluation stack
+(compiled automata, algebra subplans, prepared-query plans) used to pay the
+full compilation cost again for each spelling.  This module provides the
+shared normalization pass that collapses those spellings:
+
+* :func:`canonical_serialization` — a stable, name-independent rendering:
+  bound variables become de-Bruijn-style binder distances, commutative
+  :class:`~repro.logic.formulas.And`/:class:`~repro.logic.formulas.Or`
+  children are rendered in sorted order.  Free variables keep their names
+  (they are the query's output columns, so renaming them would change the
+  answer's schema).
+* :func:`canonical_fingerprint` — a SHA-1 hex digest of the serialization;
+  this is what :func:`repro.engine.cache.formula_key` keys every cache on,
+  so alpha-equivalent and conjunct-permuted (sub)formulas share entries.
+* :func:`canonicalize` — an actual :class:`~repro.logic.formulas.Formula`
+  in canonical shape: commutative children sorted, every binder renamed to
+  a positional ``_c<i>`` name.  The planner canonicalizes each query at
+  plan time, so downstream structural memos (e.g. the algebra executor's
+  subplan memo) unify equivalent queries without knowing about alpha
+  equivalence at all.
+
+Both directions are semantics-preserving: renaming bound variables is
+alpha-conversion, and conjunction/disjunction are commutative in every
+engine (boolean evaluation, automaton intersection/union, join order).
+
+Properties (pinned by ``tests/test_canonical.py``)::
+
+    canonical_fingerprint(f1) == canonical_fingerprint(f2)
+        for alpha-equivalent or conjunct-permuted f1, f2
+    canonicalize(canonicalize(f)) == canonicalize(f)          # idempotent
+    canonical_fingerprint(canonicalize(f)) == canonical_fingerprint(f)
+    canonicalize(f).free_variables() == f.free_variables()
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import itertools
+
+from repro.logic.formulas import (
+    And,
+    Atom,
+    Exists,
+    FalseF,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    TrueF,
+)
+from repro.logic.terms import (
+    AddFirst,
+    AddLast,
+    InsertAt,
+    Lcp,
+    StrConst,
+    Term,
+    TrimFirst,
+    Var,
+)
+
+__all__ = [
+    "canonical_fingerprint",
+    "canonical_serialization",
+    "canonicalize",
+]
+
+#: Prefix of the positional bound-variable names :func:`canonicalize`
+#: assigns (suffixed to dodge any free variable that shares the name).
+CANONICAL_PREFIX = "_c"
+
+
+# ------------------------------------------------------------- serialization
+
+
+def _term_repr(t: Term, env: dict[str, int], depth: int) -> str:
+    """Name-independent rendering of a term under binder environment ``env``.
+
+    ``env`` maps bound-variable names to the depth of their binder;
+    ``depth`` is the current binder depth, so ``depth - env[name]`` is the
+    de-Bruijn distance — identical for alpha-equivalent formulas.
+    """
+    if isinstance(t, Var):
+        if t.name in env:
+            return f"@{depth - env[t.name]}"
+        return f"${t.name}"
+    if isinstance(t, StrConst):
+        return f"lit({t.value!r})"
+    if isinstance(t, AddLast):
+        return f"add_last[{t.symbol}]({_term_repr(t.inner, env, depth)})"
+    if isinstance(t, AddFirst):
+        return f"add_first[{t.symbol}]({_term_repr(t.inner, env, depth)})"
+    if isinstance(t, TrimFirst):
+        return f"trim_first[{t.symbol}]({_term_repr(t.inner, env, depth)})"
+    if isinstance(t, Lcp):
+        return (
+            f"lcp({_term_repr(t.left, env, depth)},"
+            f"{_term_repr(t.right, env, depth)})"
+        )
+    if isinstance(t, InsertAt):
+        return (
+            f"insert_at[{t.symbol}]({_term_repr(t.inner, env, depth)},"
+            f"{_term_repr(t.position, env, depth)})"
+        )
+    raise TypeError(f"unknown term node {t!r}")
+
+
+def _serialize(f: Formula, env: dict[str, int], depth: int) -> str:
+    if isinstance(f, TrueF):
+        return "true"
+    if isinstance(f, FalseF):
+        return "false"
+    if isinstance(f, Atom):
+        args = ",".join(_term_repr(t, env, depth) for t in f.args)
+        return f"atom:{f.pred}[{f.param!r}]({args})"
+    if isinstance(f, RelAtom):
+        args = ",".join(_term_repr(t, env, depth) for t in f.args)
+        return f"rel:{f.name}({args})"
+    if isinstance(f, Not):
+        return f"not({_serialize(f.inner, env, depth)})"
+    if isinstance(f, (And, Or)):
+        tag = "and" if isinstance(f, And) else "or"
+        parts = sorted(_serialize(p, env, depth) for p in f.parts)
+        return f"{tag}({';'.join(parts)})"
+    if isinstance(f, (Exists, Forall)):
+        tag = "exists" if isinstance(f, Exists) else "forall"
+        inner_env = dict(env)
+        inner_env[f.var] = depth
+        body = _serialize(f.body, inner_env, depth + 1)
+        return f"{tag}:{f.kind.value}({body})"
+    raise TypeError(f"unknown formula node {f!r}")
+
+
+@functools.lru_cache(maxsize=8192)
+def canonical_serialization(formula: Formula) -> str:
+    """The stable structural rendering (see module docstring)."""
+    return _serialize(formula, {}, 0)
+
+
+@functools.lru_cache(maxsize=8192)
+def canonical_fingerprint(formula: Formula) -> str:
+    """SHA-1 hex digest of :func:`canonical_serialization`.
+
+    Equal for alpha-equivalent and conjunct/disjunct-permuted formulas;
+    this is the formula component of every evaluation-stack cache key
+    (:func:`repro.engine.cache.formula_key`).
+    """
+    return hashlib.sha1(canonical_serialization(formula).encode()).hexdigest()
+
+
+# ------------------------------------------------------------ canonical form
+
+
+def _sort_children(f: Formula, env: dict[str, int], depth: int) -> Formula:
+    """Recursively order commutative children by their serialization."""
+    if isinstance(f, (TrueF, FalseF, Atom, RelAtom)):
+        return f
+    if isinstance(f, Not):
+        return Not(_sort_children(f.inner, env, depth))
+    if isinstance(f, (And, Or)):
+        parts = tuple(_sort_children(p, env, depth) for p in f.parts)
+        parts = tuple(sorted(parts, key=lambda p: _serialize(p, env, depth)))
+        return And(parts) if isinstance(f, And) else Or(parts)
+    if isinstance(f, (Exists, Forall)):
+        inner_env = dict(env)
+        inner_env[f.var] = depth
+        body = _sort_children(f.body, inner_env, depth + 1)
+        ctor = Exists if isinstance(f, Exists) else Forall
+        return ctor(f.var, body, f.kind)
+    raise TypeError(f"unknown formula node {f!r}")
+
+
+def _rename_term(t: Term, mapping: dict[str, str]) -> Term:
+    return t.substitute({old: Var(new) for old, new in mapping.items()})
+
+
+def _rename_binders(
+    f: Formula, mapping: dict[str, str], names, avoid: frozenset[str]
+) -> Formula:
+    """Give every binder the next positional name (pre-order traversal)."""
+    if isinstance(f, (TrueF, FalseF)):
+        return f
+    if isinstance(f, Atom):
+        return Atom(f.pred, tuple(_rename_term(t, mapping) for t in f.args), f.param)
+    if isinstance(f, RelAtom):
+        return RelAtom(f.name, tuple(_rename_term(t, mapping) for t in f.args))
+    if isinstance(f, Not):
+        return Not(_rename_binders(f.inner, mapping, names, avoid))
+    if isinstance(f, (And, Or)):
+        parts = tuple(_rename_binders(p, mapping, names, avoid) for p in f.parts)
+        return And(parts) if isinstance(f, And) else Or(parts)
+    if isinstance(f, (Exists, Forall)):
+        fresh = next(names)
+        while fresh in avoid:
+            fresh = next(names)
+        inner = dict(mapping)
+        inner[f.var] = fresh
+        body = _rename_binders(f.body, inner, names, avoid)
+        ctor = Exists if isinstance(f, Exists) else Forall
+        return ctor(fresh, body, f.kind)
+    raise TypeError(f"unknown formula node {f!r}")
+
+
+@functools.lru_cache(maxsize=8192)
+def canonicalize(formula: Formula) -> Formula:
+    """The canonical alpha-variant: sorted commutative children, binders
+    renamed to positional ``_c<i>`` names (free variables untouched).
+
+    Children are sorted *before* renaming, against the name-independent
+    serialization, so the result is stable: canonicalizing twice is the
+    identity, and any two alpha-equivalent/permuted inputs canonicalize to
+    structurally equal formulas.
+    """
+    free = formula.free_variables()
+    sorted_tree = _sort_children(formula, {}, 0)
+    names = (f"{CANONICAL_PREFIX}{i}" for i in itertools.count())
+    return _rename_binders(sorted_tree, {}, names, free)

@@ -91,6 +91,22 @@ class Formula:
                 names.add(f.name)
         return frozenset(names)
 
+    def database_dependent(self) -> bool:
+        """Does evaluation depend on the database instance?
+
+        True when the formula mentions a schema relation *or* contains a
+        restricted quantifier — ADOM, PREFIX, and LENGTH quantifiers all
+        derive their range from the active domain ``adom(D)``, so only
+        relation-free formulas whose quantifiers are all NATURAL denote
+        the same relation over every database.
+        """
+        for f in self.walk():
+            if isinstance(f, RelAtom):
+                return True
+            if isinstance(f, (Exists, Forall)) and f.kind is not QuantKind.NATURAL:
+                return True
+        return False
+
     def walk(self) -> Iterator["Formula"]:
         """All subformulas (pre-order)."""
         yield self

@@ -8,9 +8,11 @@ into a serving tier on top of the PR 1 engine core:
   so requests refer to ``"main"`` instead of shipping relations;
 * **prepared queries** — :meth:`QueryService.prepare` parses a query once
   and caches the planner's decision per (database fingerprint, engine,
-  slack); repeated executions skip parsing and planning entirely and share
-  the compiled automata through the session-wide
-  :class:`~repro.engine.cache.AutomatonCache` (which is thread-safe);
+  slack); handles are interned by the query's **canonical fingerprint**
+  (:mod:`repro.logic.canonical`), so alpha-equivalent and
+  conjunct-reordered spellings share one handle, one plan cache, and the
+  compiled automata in the session-wide thread-safe
+  :class:`~repro.engine.cache.AutomatonCache`;
 * a **worker pool** — a fixed set of threads executing requests pulled
   from a bounded queue; single requests and batches run concurrently;
 * **per-request deadlines** — a request's budget starts at submission
@@ -55,6 +57,7 @@ from typing import Any, Optional, Union
 
 from repro.core.query import Query, StringDatabase
 from repro.database.instance import Database
+from repro.engine.backend import resolve_engine
 from repro.engine.cache import AutomatonCache, database_fingerprint, global_cache
 from repro.engine.deadline import Deadline, deadline_scope
 from repro.engine.explain import execute_plan
@@ -69,6 +72,7 @@ from repro.errors import (
     ServiceError,
     UnsafeQueryError,
 )
+from repro.logic.canonical import canonical_fingerprint
 from repro.logic.parser import parse_formula
 from repro.strings.alphabet import Alphabet
 
@@ -178,7 +182,7 @@ class RunRequest:
     query: Union[str, "PreparedQuery"]
     database: str
     structure: str = "S"
-    engine: Optional[str] = None      # None/"auto" | "automata" | "direct"
+    engine: Optional[str] = None      # None/"auto" or a registered backend name
     slack: Optional[int] = None
     limit: Optional[int] = None
     timeout: Optional[float] = None
@@ -232,6 +236,9 @@ class PreparedQuery:
         self.source = source
         self.structure_name = structure
         self.formula = parse_formula(source)
+        #: Canonical structural fingerprint — the service interns handles
+        #: by it, so alpha-equivalent spellings share this plan cache.
+        self.fingerprint = canonical_fingerprint(self.formula)
         self._queries: dict[tuple[str, ...], Query] = {}
         self._plans: dict[tuple, Plan] = {}
         self._lock = threading.Lock()
@@ -261,18 +268,27 @@ class PreparedQuery:
         engine: Optional[str] = None,
         slack: Optional[int] = None,
     ) -> Plan:
-        """The (cached) plan for this query on one registered database."""
-        force = None if engine in (None, "auto") else engine
-        key = (entry.name, entry.fingerprint, force, slack)
+        """The (cached) plan for this query on one registered database.
+
+        Keyed by (database fingerprint, backend name, slack) — the query
+        component is the handle itself, which the service interns by
+        canonical fingerprint.  Two registered names with identical
+        contents therefore share plans, as do alpha-equivalent spellings
+        of the query.
+        """
+        force = resolve_engine(engine)
+        key = (entry.fingerprint, force, slack)
         with self._lock:
             plan = self._plans.get(key)
-        if plan is None:
-            q = self.query_for(entry.database.alphabet)
-            plan = Planner(q.structure, entry.database).plan(
-                q.formula, slack=slack, force=force
-            )
-            with self._lock:
-                plan = self._plans.setdefault(key, plan)
+        if plan is not None:
+            METRICS.inc("service.plan_cache_hits")
+            return plan
+        q = self.query_for(entry.database.alphabet)
+        plan = Planner(q.structure, entry.database).plan(
+            q.formula, slack=slack, force=force
+        )
+        with self._lock:
+            plan = self._plans.setdefault(key, plan)
         return plan
 
 
@@ -370,7 +386,10 @@ class QueryService:
         self.config = config
         self._cache = config.cache if config.cache is not None else global_cache()
         self._databases: dict[str, _NamedDatabase] = {}
+        # Interned per (canonical fingerprint, structure); the text-keyed
+        # alias map short-circuits re-parsing on repeated exact text.
         self._prepared: dict[tuple[str, str], PreparedQuery] = {}
+        self._prepared_text: dict[tuple[str, str], PreparedQuery] = {}
         self._registry_lock = threading.Lock()
         self._queue: queue.Queue = queue.Queue(maxsize=config.max_pending)
         self._closed = False
@@ -419,18 +438,25 @@ class QueryService:
     # -------------------------------------------------------------- prepare
 
     def prepare(self, query: str, structure: str = "S") -> PreparedQuery:
-        """Parse once, share forever: handles are interned per
-        (source, structure) so every caller of the same query text gets
-        the same plan cache."""
-        key = (query, structure)
+        """Parse once, share forever: handles are interned per (canonical
+        fingerprint, structure), so every caller of any alpha-equivalent
+        or conjunct-reordered spelling of the same query gets the same
+        handle — and therefore the same plan cache and cached automata.
+        A text-keyed alias map keeps the repeated-exact-text fast path
+        free of re-parsing."""
+        alias = (query, structure)
         with self._registry_lock:
-            handle = self._prepared.get(key)
-        if handle is None:
-            handle = PreparedQuery(query, structure)
-            with self._registry_lock:
-                handle = self._prepared.setdefault(key, handle)
+            handle = self._prepared_text.get(alias)
+        if handle is not None:
+            return handle
+        handle = PreparedQuery(query, structure)
+        key = (handle.fingerprint, structure)
+        with self._registry_lock:
+            interned = self._prepared.setdefault(key, handle)
+            self._prepared_text[alias] = interned
+        if interned is handle:
             METRICS.inc("service.prepared_queries")
-        return handle
+        return interned
 
     # ------------------------------------------------------------ execution
 

@@ -276,9 +276,9 @@ class TestPlannerIntegration:
 
     def test_planner_counter_for_algebra(self):
         db = random_database(BINARY, {"R": 2, "T": 2}, 300, max_len=4, seed=3)
-        before = METRICS.get("planner.chose_algebra")
+        before = METRICS.get("planner.backend.algebra.chosen")
         Planner(S_BIN, db).plan(parse_formula("R(x,y) & T(y,z)"))
-        assert METRICS.get("planner.chose_algebra") == before + 1
+        assert METRICS.get("planner.backend.algebra.chosen") == before + 1
 
 
 class TestExplainSurface:

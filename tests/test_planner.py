@@ -86,8 +86,8 @@ class TestEngineSelection:
         Query(ANCHORED_ADOM, structure="S").plan(db)
         Query(NATURAL, structure="S").plan(db)
         assert METRICS.get("planner.plans") == 2
-        assert METRICS.get("planner.chose_direct") == 1
-        assert METRICS.get("planner.chose_automata") == 1
+        assert METRICS.get("planner.backend.direct.chosen") == 1
+        assert METRICS.get("planner.backend.automata.chosen") == 1
 
 
 class TestCacheAccounting:
@@ -118,18 +118,36 @@ class TestCacheAccounting:
         report = q.explain(db)
         assert report.counters.get("cache.hits", 0) > 0
 
-    def test_db_free_subformulas_intern_across_databases(self, db):
+    def test_interning_respects_database_dependence(self, db):
         other = StringDatabase("01", {"R": {"1"}, "S": {"1"}})
         assert database_fingerprint(db.db) != database_fingerprint(other.db)
-        f = parse_formula("exists prefix y: y <<= x")
-        key_a = formula_key(f, "S", ("0", "1"), 0, database_fingerprint(db.db))
-        key_b = formula_key(f, "S", ("0", "1"), 0, database_fingerprint(other.db))
-        # db-free subformulas are keyed without the fingerprint...
+        # Restricted quantifiers range over adom(D), so they are NOT
+        # database-independent even with no relation atom in sight.
+        assert parse_formula("exists prefix y: y <<= x").database_dependent()
+        assert parse_formula("forall adom v: eq(v, u)").database_dependent()
+        # Pure presentation logic (NATURAL quantifiers only) is interned:
+        # keyed without a fingerprint, shared across databases.
+        f = parse_formula("exists y: y <<= x")
+        assert not f.database_dependent()
         assert formula_key(f, "S", ("0", "1"), 0, None) == formula_key(
             f, "S", ("0", "1"), 0, None
         )
-        # ...while fingerprinted keys for different databases differ.
+        # Fingerprinted keys for different databases differ.
+        g = parse_formula("R(x)")
+        key_a = formula_key(g, "S", ("0", "1"), 0, database_fingerprint(db.db))
+        key_b = formula_key(g, "S", ("0", "1"), 0, database_fingerprint(other.db))
         assert key_a != key_b
+
+    def test_adom_quantifier_not_leaked_across_databases(self):
+        # Regression: `forall adom v: eq(v, u)` mentions no relation, but
+        # its value ranges over adom(D).  A shared cache must key it per
+        # database — interning it served database A's automaton to
+        # database B (wrong rows, silently).
+        q = Query("R(u) & (forall adom v: eq(v, u))", structure="S")
+        db_a = StringDatabase("01", {"R": {"0"}, "S": set()})
+        db_b = StringDatabase("01", {"R": {""}, "S": set()})
+        assert q.run(db_a, engine="automata").rows() == [("0",)]
+        assert q.run(db_b, engine="automata").rows() == [("",)]
 
     def test_lru_eviction_is_counted(self):
         cache = AutomatonCache(maxsize=2)

@@ -203,3 +203,40 @@ class TestThreeEngineAgreement:
         auto = query.result(db).as_set()
         for engine in self.ENGINES:
             assert auto == query.result(db, engine=engine).as_set(), engine
+
+
+class TestCanonicalizationRoundTrip:
+    """Canonicalization (repro.logic.canonical) is semantics-preserving:
+    alpha-renaming binders and sorting commutative conjuncts/disjuncts
+    must not change any engine's answer — that is what licenses keying
+    every cache on the canonical fingerprint."""
+
+    ENGINES = ("automata", "direct", "algebra")
+
+    @settings(max_examples=40, deadline=None)
+    @given(formula=adom_formulas(VARS, depth=2), db=databases)
+    def test_canonicalize_preserves_three_engine_results(self, formula, db):
+        from repro.logic.canonical import canonical_fingerprint, canonicalize
+
+        original = _anchor(formula)
+        canon = canonicalize(original)
+        assert canonical_fingerprint(canon) == canonical_fingerprint(original)
+        assert canon.free_variables() == original.free_variables()
+        q_orig = Query(original, structure="S_len")
+        q_canon = Query(canon, structure="S_len")
+        for engine in self.ENGINES:
+            before = q_orig.result(db, engine=engine)
+            after = q_canon.result(db, engine=engine)
+            assert before.variables == after.variables, engine
+            assert before.as_set() == after.as_set(), (engine, str(original))
+
+    @settings(max_examples=40, deadline=None)
+    @given(sentence=sentences(), db=databases)
+    def test_canonicalize_preserves_natural_semantics(self, sentence, db):
+        """Round-trip on the wider quantifier spectrum (PREFIX and LENGTH
+        quantifiers included), via the exact automata engine."""
+        from repro.logic.canonical import canonicalize
+
+        structure = S_len(BINARY)
+        engine = AutomataEngine(structure, db, slack=0)
+        assert engine.decide(canonicalize(sentence)) == engine.decide(sentence)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Fail the build if engine-name literal dispatch reappears.
+
+The backend registry (``src/repro/engine/backend.py``) is the only
+legitimate dispatch path for engine names: every other layer must resolve
+names through ``resolve_engine``/``get_backend`` and call backend methods,
+never compare ``plan.engine`` against a string literal.  This linter keeps
+the refactor from regressing: it scans every ``*.py`` under ``src/repro``
+*outside* ``src/repro/engine/`` for ``== "automata"`` / ``== "direct"`` /
+``== "algebra"`` (and ``!=``, and single-quoted variants) and exits
+non-zero listing the offenders.
+
+Run via ``make lint-dispatch`` (wired into ``make test``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+ALLOWED = SRC / "engine"
+
+ENGINE_LITERAL = re.compile(
+    r"""[=!]=\s*(?P<q>['"])(automata|direct|algebra)(?P=q)"""
+)
+
+
+def offenders() -> list[str]:
+    found: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        if ALLOWED in path.parents:
+            continue
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if ENGINE_LITERAL.search(line):
+                rel = path.relative_to(ROOT)
+                found.append(f"{rel}:{lineno}: {line.strip()}")
+    return found
+
+
+def main() -> int:
+    bad = offenders()
+    if bad:
+        print(
+            "engine-name literal dispatch outside src/repro/engine/ — "
+            "resolve through the backend registry instead "
+            "(repro.engine.backend):",
+            file=sys.stderr,
+        )
+        for line in bad:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("lint-dispatch: ok (no engine-name literal comparisons outside engine/)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
