@@ -4,12 +4,14 @@
 PY := PYTHONPATH=src python
 SMOKE_DIR := .bench-smoke
 
-.PHONY: test test-full docs-check lint-dispatch bench-smoke bench-algebra \
-	bench-algebra-smoke bench-full bench-service serve-smoke clean
+.PHONY: test test-full docs-check lint-dispatch lint-kernel bench-smoke \
+	bench-algebra bench-algebra-smoke bench-kernel bench-kernel-smoke \
+	bench-compare bench-full bench-service serve-smoke clean
 
-## Fast local loop: dispatch lint, skip @pytest.mark.slow tests, then smoke
-## the algebra join benchmark (the perf claim cheapest to regress silently).
-test: lint-dispatch bench-algebra-smoke
+## Fast local loop: lints, skip @pytest.mark.slow tests, then smoke the
+## perf claims cheapest to regress silently (algebra joins + the dense
+## automata kernel, gated against the committed BENCH_kernel.json).
+test: lint-dispatch lint-kernel bench-algebra-smoke bench-kernel-smoke
 	$(PY) -m pytest -x -q -m "not slow"
 
 ## Fail if engine-name literal comparisons (== "automata"/"direct"/
@@ -17,6 +19,11 @@ test: lint-dispatch bench-algebra-smoke
 ## must stay the only dispatch path.
 lint-dispatch:
 	$(PY) tools/lint_dispatch.py
+
+## Fail if kernel-converted hot modules construct dict-backed DFA(...)
+## directly — they must stay on the dense kernel boundary helpers.
+lint-kernel:
+	$(PY) tools/lint_kernel.py
 
 ## The whole suite, slow tests included (what CI should run).
 test-full:
@@ -50,6 +57,23 @@ bench-algebra:
 bench-algebra-smoke:
 	mkdir -p $(SMOKE_DIR)
 	$(PY) benchmarks/bench_algebra_joins.py --smoke --explain-json $(SMOKE_DIR)/algebra_joins.json
+
+## Dense automata kernel vs the legacy dict-DFA path (full sweep,
+## asserts the >=5x product-chain speedup and gates every measured
+## speedup ratio against the committed BENCH_kernel.json baseline).
+bench-kernel:
+	mkdir -p $(SMOKE_DIR)
+	$(PY) benchmarks/bench_kernel.py --compare --explain-json $(SMOKE_DIR)/kernel.json
+
+## Minimal sizes of the same sweep, still gated against the baseline;
+## part of `make test`'s fast path.
+bench-kernel-smoke:
+	mkdir -p $(SMOKE_DIR)
+	$(PY) benchmarks/bench_kernel.py --smoke --compare --explain-json $(SMOKE_DIR)/kernel.json
+
+## Re-measure and gate without the full pytest run (alias kept for the
+## name used in docs; exits non-zero on any >1.3x speedup regression).
+bench-compare: bench-kernel
 
 bench-full:
 	$(PY) -m pytest benchmarks/ --benchmark-only

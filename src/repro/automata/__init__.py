@@ -10,9 +10,21 @@ compilation, and the language analyses the paper relies on:
 * Schuetzenberger's aperiodicity test for **star-freeness** (Section 4 of the
   paper: subsets of ``Sigma*`` definable over S are exactly the star-free
   languages, and over S_len / S_reg exactly the regular languages).
+
+The hot paths (products, minimization, subset construction, equivalence)
+run on the dense integer-coded kernel in :mod:`repro.automata.kernel`;
+the dict-of-dicts :class:`DFA` remains the building/interchange format,
+converted at the boundaries via ``DFA.to_dense()`` /
+``DenseDFA.to_dfa()``.
 """
 
 from repro.automata.dfa import DFA
+from repro.automata.kernel import (
+    DenseDFA,
+    ProductPipeline,
+    SymbolTable,
+    to_dense,
+)
 from repro.automata.nfa import NFA, EPSILON
 from repro.automata.ops import (
     difference,
@@ -37,9 +49,12 @@ from repro.automata.aperiodic import is_aperiodic, is_star_free, transition_mono
 
 __all__ = [
     "DFA",
+    "DenseDFA",
     "EPSILON",
     "NFA",
+    "ProductPipeline",
     "Regex",
+    "SymbolTable",
     "compile_regex",
     "contains_factor_dfa",
     "dfa_all_strings",
@@ -57,6 +72,7 @@ __all__ = [
     "parse_regex",
     "starts_with_dfa",
     "symmetric_difference_empty",
+    "to_dense",
     "transition_monoid",
     "union",
 ]

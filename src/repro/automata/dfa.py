@@ -42,7 +42,17 @@ class DFA:
         Mapping ``state -> {symbol -> state}``; may be partial.
     """
 
-    __slots__ = ("alphabet", "states", "start", "accepting", "transitions", "_finite_cache")
+    __slots__ = (
+        "alphabet",
+        "states",
+        "start",
+        "accepting",
+        "transitions",
+        "_finite_cache",
+        "_completed_cache",
+        "_canonical_cache",
+        "_dense_cache",
+    )
 
     def __init__(
         self,
@@ -59,7 +69,14 @@ class DFA:
         self.transitions: dict[State, dict[Symbol, State]] = {
             q: dict(delta) for q, delta in transitions.items() if delta
         }
+        # DFAs are immutable, so derived forms are memoized invalidation-
+        # free: chained complement()/minimize()/product calls would
+        # otherwise rebuild the same completed/canonical/dense automaton
+        # once per call (each a fresh O(|Q|·|Σ|) copy).
         self._finite_cache: Optional[bool] = None
+        self._completed_cache: Optional["DFA"] = None
+        self._canonical_cache: Optional["DFA"] = None
+        self._dense_cache = None  # repro.automata.kernel.DenseDFA
         if start not in self.states:
             raise ValueError(f"start state {start!r} not among states")
         if not self.accepting <= self.states:
@@ -97,8 +114,11 @@ class DFA:
 
         Unreachable states are dropped.  Two canonicalized, minimized DFAs
         over the same alphabet accept the same language iff they are
-        structurally identical.
+        structurally identical.  The result is memoized (DFAs are
+        immutable) and is its own canonical form.
         """
+        if self._canonical_cache is not None:
+            return self._canonical_cache
         order: dict[State, int] = {self.start: 0}
         queue = deque([self.start])
         sym_order = sorted(self.alphabet, key=repr)
@@ -116,11 +136,21 @@ class DFA:
             if q in order
         }
         accepting = [order[q] for q in self.accepting if q in order]
-        return DFA(self.alphabet, range(len(order)), 0, accepting, transitions)
+        result = DFA(self.alphabet, range(len(order)), 0, accepting, transitions)
+        result._canonical_cache = result
+        self._canonical_cache = result
+        return result
 
     def completed(self) -> "DFA":
-        """Return an equivalent DFA with a total transition function."""
+        """Return an equivalent DFA with a total transition function.
+
+        Memoized: chained boolean operations complete the same automaton
+        repeatedly, and each completion is a full table copy.
+        """
+        if self._completed_cache is not None:
+            return self._completed_cache
         if self._is_complete():
+            self._completed_cache = self
             return self
         states = set(self.states) | {_DEAD}
         transitions: dict[State, dict[Symbol, State]] = {}
@@ -129,7 +159,10 @@ class DFA:
             for sym in self.alphabet:
                 delta.setdefault(sym, _DEAD)
             transitions[q] = delta
-        return DFA(self.alphabet, states, self.start, self.accepting, transitions)
+        result = DFA(self.alphabet, states, self.start, self.accepting, transitions)
+        result._completed_cache = result
+        self._completed_cache = result
+        return result
 
     def _is_complete(self) -> bool:
         return all(
@@ -233,6 +266,15 @@ class DFA:
                 accepting.add(b)
         mini = DFA(total.alphabet, range(n_blocks), block_of[total.start], accepting, transitions)
         return mini.trim().canonical()
+
+    def to_dense(self, table=None):
+        """The dense integer-coded form (memoized; see
+        :mod:`repro.automata.kernel`).  Automata produced by the kernel
+        carry their dense form already, so chained operations convert
+        once at the boundary and never re-walk the dict tables."""
+        from repro.automata import kernel
+
+        return kernel.to_dense(self, table)
 
     def map_symbols(self, mapping) -> "DFA":
         """Relabel symbols through ``mapping`` (must be injective on alphabet)."""

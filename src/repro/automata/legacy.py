@@ -1,0 +1,76 @@
+"""The legacy dict-of-dicts product construction, kept as a reference.
+
+:mod:`repro.automata.ops` used to build every boolean combination with
+this eager pairwise product over hashable ``(left, right)`` state tuples.
+The hot paths now run on :mod:`repro.automata.kernel`; this module keeps
+the original construction importable for two reasons:
+
+* ``benchmarks/bench_kernel.py`` measures the kernel *against* it — the
+  speedup ratio is the machine-portable number the regression gate
+  tracks;
+* the differential test suites (``tests/test_kernel.py``) use it as the
+  independent oracle the kernel must agree with.
+
+Do not route production code through this module.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+from repro.automata.dfa import DFA
+from repro.engine.deadline import checkpoint
+from repro.engine.metrics import METRICS
+
+
+def product(left: DFA, right: DFA, keep: Callable[[bool, bool], bool]) -> DFA:
+    """Eager product construction over the union alphabet.
+
+    ``keep(in_left, in_right)`` decides acceptance of a product state.
+    Missing transitions are treated as moves to an (implicit) rejecting
+    dead state, which the construction materializes as ``None`` components.
+    """
+    alphabet = left.alphabet | right.alphabet
+    lt = left.completed()
+    rt = right.completed()
+    # Completed automata may still lack symbols absent from their own
+    # alphabet; treat those as dead.
+    start = (lt.start, rt.start)
+    seen = {start: 0}
+    transitions: dict[int, dict[object, int]] = {}
+    accepting: set[int] = set()
+    queue = deque([start])
+
+    def is_acc(pair) -> bool:
+        lq, rq = pair
+        return keep(lq in lt.accepting, rq in rt.accepting)
+
+    if is_acc(start):
+        accepting.add(0)
+    while queue:
+        # Products are the engine's combinatorial blowup point; check the
+        # cooperative deadline once per state expanded so a request with a
+        # tight budget cannot disappear into an exponential construction.
+        checkpoint()
+        pair = queue.popleft()
+        sid = seen[pair]
+        lq, rq = pair
+        delta: dict[object, int] = {}
+        for sym in alphabet:
+            ltarget = lt.step(lq, sym) if lq is not None else None
+            rtarget = rt.step(rq, sym) if rq is not None else None
+            target = (ltarget, rtarget)
+            if ltarget is None and rtarget is None:
+                continue
+            if target not in seen:
+                seen[target] = len(seen)
+                queue.append(target)
+                if is_acc(target):
+                    accepting.add(seen[target])
+            delta[sym] = seen[target]
+        if delta:
+            transitions[sid] = delta
+    METRICS.inc("automata.products")
+    METRICS.inc("automata.product_states", len(seen))
+    return DFA(alphabet, range(len(seen)), 0, accepting, transitions)

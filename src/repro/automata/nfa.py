@@ -142,8 +142,17 @@ class NFA:
         return DFA(self.alphabet, range(len(seen)), 0, accepting, transitions)
 
     def to_min_dfa(self) -> DFA:
-        """Determinize then minimize (the usual pipeline)."""
-        return self.determinize().minimize()
+        """Determinize then minimize (the usual pipeline).
+
+        Runs on the dense kernel: bitmask subset construction feeding a
+        dense Hopcroft pass, converted to a dict DFA only at the end
+        (with the dense form attached for downstream kernel ops).
+        :meth:`determinize` keeps the legacy dict-of-frozensets path for
+        callers that need subset states.
+        """
+        from repro.automata import kernel
+
+        return kernel.determinize_minimized(self)
 
     def reversed(self) -> "NFA":
         """NFA for the reversal of the language."""

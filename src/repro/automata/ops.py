@@ -1,85 +1,85 @@
-"""Boolean operations and equivalence on DFAs (product constructions)."""
+"""Boolean operations and equivalence on DFAs, kernel-backed.
+
+The combinators here keep the historical dict-DFA signatures but run on
+:mod:`repro.automata.kernel`: products are lazy dense pipelines (only
+reachable, non-pruned product states are ever built) and equivalence is
+a union-find Hopcroft–Karp merge with **no product construction at
+all** — the previous implementation materialized a full symmetric-
+difference product just to check its emptiness.  The original eager
+construction survives as :func:`repro.automata.legacy.product` for
+benchmarks and differential tests.
+
+``_product`` remains importable for callers that want an explicit
+acceptance combiner; it maps the combiner onto the kernel's named modes
+when possible and falls back to a callable-mode pipeline otherwise.
+"""
 
 from __future__ import annotations
 
-from collections import deque
 from collections.abc import Callable
 
+from repro.automata import kernel
 from repro.automata.dfa import DFA
-from repro.engine.deadline import checkpoint
 from repro.engine.metrics import METRICS
 
 
+def _mode_of(keep: Callable[[bool, bool], bool]) -> str:
+    """Classify a binary acceptance combiner by its truth table."""
+    table = (keep(False, False), keep(False, True), keep(True, False), keep(True, True))
+    return {
+        (False, False, False, True): "and",
+        (False, True, True, True): "or",
+        (False, False, True, False): "diff",
+        (False, True, True, False): "xor",
+    }.get(table, "")
+
+
 def _product(left: DFA, right: DFA, keep: Callable[[bool, bool], bool]) -> DFA:
-    """Lazy product construction over the union alphabet.
+    """Lazy product over the union alphabet (kernel-backed).
 
     ``keep(in_left, in_right)`` decides acceptance of a product state.
-    Missing transitions are treated as moves to an (implicit) rejecting
-    dead state, which the construction materializes as ``None`` components.
+    Unlike the legacy eager construction, product states whose every
+    component is dead are never built, and for ``and``/``diff``-shaped
+    combiners states that can no longer accept are pruned — the result
+    recognizes the same language with (possibly) fewer states.
     """
-    alphabet = left.alphabet | right.alphabet
-    lt = left.completed()
-    rt = right.completed()
-    # Completed automata may still lack symbols absent from their own
-    # alphabet; treat those as dead.
-    start = (lt.start, rt.start)
-    seen = {start: 0}
-    transitions: dict[int, dict[object, int]] = {}
-    accepting: set[int] = set()
-    queue = deque([start])
-
-    def is_acc(pair) -> bool:
-        lq, rq = pair
-        return keep(lq in lt.accepting, rq in rt.accepting)
-
-    if is_acc(start):
-        accepting.add(0)
-    while queue:
-        # Products are the engine's combinatorial blowup point; check the
-        # cooperative deadline once per state expanded so a request with a
-        # tight budget cannot disappear into an exponential construction.
-        checkpoint()
-        pair = queue.popleft()
-        sid = seen[pair]
-        lq, rq = pair
-        delta: dict[object, int] = {}
-        for sym in alphabet:
-            ltarget = lt.step(lq, sym) if lq is not None else None
-            rtarget = rt.step(rq, sym) if rq is not None else None
-            target = (ltarget, rtarget)
-            if ltarget is None and rtarget is None:
-                continue
-            if target not in seen:
-                seen[target] = len(seen)
-                queue.append(target)
-                if is_acc(target):
-                    accepting.add(seen[target])
-            delta[sym] = seen[target]
-        if delta:
-            transitions[sid] = delta
     METRICS.inc("automata.products")
-    METRICS.inc("automata.product_states", len(seen))
-    return DFA(alphabet, range(len(seen)), 0, accepting, transitions)
+    mode = _mode_of(keep)
+    if not mode:
+        # Arbitrary combiner: kernel callable mode.  The kernel never
+        # materializes all-dead states, matching `keep`'s reachable set.
+        mode = lambda flags: keep(flags[0], flags[1])  # noqa: E731
+    pipeline = kernel.ProductPipeline(
+        [kernel.to_dense(left), kernel.to_dense(right)], mode
+    )
+    dense = pipeline.materialize()
+    METRICS.inc("automata.product_states", dense.num_states)
+    return dense.to_dfa()
 
 
 def intersection(left: DFA, right: DFA) -> DFA:
     """DFA for ``L(left) & L(right)``."""
-    return _product(left, right, lambda a, b: a and b).trim_unreachable()
+    return kernel.product_dfa(left, right, "and")
 
 
 def union(left: DFA, right: DFA) -> DFA:
     """DFA for ``L(left) | L(right)``."""
-    return _product(left, right, lambda a, b: a or b).trim_unreachable()
+    return kernel.product_dfa(left, right, "or")
 
 
 def difference(left: DFA, right: DFA) -> DFA:
     """DFA for ``L(left) \\ L(right)``."""
-    return _product(left, right, lambda a, b: a and not b).trim_unreachable()
+    return kernel.product_dfa(left, right, "diff")
 
 
 def symmetric_difference_empty(left: DFA, right: DFA) -> bool:
-    """True iff the two automata accept exactly the same language."""
-    return _product(left, right, lambda a, b: a != b).is_empty()
+    """True iff the two automata accept exactly the same language.
+
+    Decided by union-find Hopcroft–Karp state merging — near-linear in
+    the reachable merged pairs, with cooperative deadline checkpoints —
+    instead of building the symmetric-difference product.
+    """
+    return kernel.equivalent_dfa(left, right)
 
 
 def equivalent(left: DFA, right: DFA) -> bool:

@@ -14,6 +14,7 @@ inside that set.
 
 from __future__ import annotations
 
+import functools
 import itertools
 from collections.abc import Sequence
 
@@ -82,11 +83,16 @@ def deconvolve(word: Sequence[Column], arity: int) -> tuple[str, ...]:
     return tuple("".join(p) for p in parts)
 
 
+@functools.lru_cache(maxsize=64)
 def valid_pad_dfa(alphabet: Alphabet, arity: int) -> DFA:
     """DFA over the column alphabet accepting exactly the valid convolutions.
 
     States are frozensets of already-padded track indices; the all-PAD
-    column is simply absent from the alphabet.
+    column is simply absent from the alphabet.  Cached per
+    ``(alphabet, arity)``: DFAs are immutable, every relation
+    normalization intersects with this automaton, and the cached
+    instance accumulates its dense kernel form once
+    (:func:`repro.automata.kernel.to_dense` memoizes on the DFA).
     """
     cols = columns(alphabet, arity)
     all_tracks = frozenset(range(arity))

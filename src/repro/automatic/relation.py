@@ -29,9 +29,10 @@ from collections import deque
 from collections.abc import Iterable, Iterator, Sequence
 from typing import Optional
 
+from repro.automata import kernel
 from repro.automata.dfa import DFA
 from repro.automata.nfa import NFA
-from repro.automata.ops import _product, equivalent as dfa_equivalent
+from repro.automata.ops import equivalent as dfa_equivalent
 from repro.automatic.convolution import PAD, columns, convolve, deconvolve, valid_pad_dfa
 from repro.engine.metrics import METRICS
 from repro.errors import ArityError
@@ -54,9 +55,14 @@ class RelationAutomaton:
         if normalized:
             self.dfa = dfa
         else:
+            # Normalization is the hottest chain in the automata backend:
+            # one lazy dense pipeline (dfa ∧ valid-padding) plus one
+            # dense Hopcroft pass, no intermediate dict automata.  The
+            # valid-padding DFA is cached per (alphabet, arity), so its
+            # dense form is interned once and reused across every build.
             valid = valid_pad_dfa(alphabet, arity)
             METRICS.inc("automata.minimizations")
-            self.dfa = _product(dfa, valid, lambda a, b: a and b).minimize()
+            self.dfa = kernel.product_minimized(dfa, valid, "and")
         METRICS.inc("automata.relations_built")
         METRICS.inc("automata.relation_states", self.dfa.num_states)
 
@@ -85,7 +91,7 @@ class RelationAutomaton:
                 q = delta[col]
             accepting.add(q)
         dfa = DFA(columns(alphabet, arity), range(nxt), root, accepting, transitions)
-        return cls(alphabet, arity, dfa.minimize(), normalized=True)
+        return cls(alphabet, arity, kernel.minimize_dfa(dfa), normalized=True)
 
     @classmethod
     def empty(cls, alphabet: Alphabet, arity: int) -> "RelationAutomaton":
@@ -96,7 +102,8 @@ class RelationAutomaton:
     @classmethod
     def universe(cls, alphabet: Alphabet, arity: int) -> "RelationAutomaton":
         """The full relation ``(Sigma*)^k``."""
-        return cls(alphabet, arity, valid_pad_dfa(alphabet, arity).minimize(), normalized=True)
+        dfa = kernel.minimize_dfa(valid_pad_dfa(alphabet, arity))
+        return cls(alphabet, arity, dfa, normalized=True)
 
     @classmethod
     def true_relation(cls, alphabet: Alphabet) -> "RelationAutomaton":
@@ -199,21 +206,56 @@ class RelationAutomaton:
         self._check_compatible(other)
         METRICS.inc("automata.intersections")
         METRICS.inc("automata.minimizations")
-        dfa = _product(self.dfa, other.dfa, lambda a, b: a and b).minimize()
+        dfa = kernel.product_minimized(self.dfa, other.dfa, "and")
         return RelationAutomaton(self.alphabet, self.arity, dfa, normalized=True)
 
     def union(self, other: "RelationAutomaton") -> "RelationAutomaton":
         self._check_compatible(other)
         METRICS.inc("automata.unions")
         METRICS.inc("automata.minimizations")
-        dfa = _product(self.dfa, other.dfa, lambda a, b: a or b).minimize()
+        dfa = kernel.product_minimized(self.dfa, other.dfa, "or")
         return RelationAutomaton(self.alphabet, self.arity, dfa, normalized=True)
 
     def difference(self, other: "RelationAutomaton") -> "RelationAutomaton":
         self._check_compatible(other)
         METRICS.inc("automata.minimizations")
-        dfa = _product(self.dfa, other.dfa, lambda a, b: a and not b).minimize()
+        dfa = kernel.product_minimized(self.dfa, other.dfa, "diff")
         return RelationAutomaton(self.alphabet, self.arity, dfa, normalized=True)
+
+    @classmethod
+    def intersect_all(
+        cls, relations: Sequence["RelationAutomaton"]
+    ) -> "RelationAutomaton":
+        """N-ary conjunction: one lazy product pipeline, one minimization.
+
+        Folding pairwise would minimize (and materialize) every
+        intermediate; the kernel explores the reachable n-ary product
+        directly.
+        """
+        first = relations[0]
+        for other in relations[1:]:
+            first._check_compatible(other)
+        if len(relations) == 1:
+            return first
+        METRICS.inc("automata.intersections", len(relations) - 1)
+        METRICS.inc("automata.minimizations")
+        dfa = kernel.intersect_all_minimized([r.dfa for r in relations])
+        return cls(first.alphabet, first.arity, dfa, normalized=True)
+
+    @classmethod
+    def union_all(
+        cls, relations: Sequence["RelationAutomaton"]
+    ) -> "RelationAutomaton":
+        """N-ary disjunction: one lazy product pipeline, one minimization."""
+        first = relations[0]
+        for other in relations[1:]:
+            first._check_compatible(other)
+        if len(relations) == 1:
+            return first
+        METRICS.inc("automata.unions", len(relations) - 1)
+        METRICS.inc("automata.minimizations")
+        dfa = kernel.union_all_minimized([r.dfa for r in relations])
+        return cls(first.alphabet, first.arity, dfa, normalized=True)
 
     def complement(self) -> "RelationAutomaton":
         """Complement within ``(Sigma*)^k`` (valid convolutions only)."""
@@ -275,7 +317,10 @@ class RelationAutomaton:
         METRICS.inc("automata.projections")
         METRICS.inc("automata.determinizations")
         METRICS.inc("automata.minimizations")
-        projected = nfa.determinize().minimize()
+        # Kernel subset construction + dense Hopcroft; the result carries
+        # its dense form, so the constructor's re-normalization product
+        # never re-walks dict tables.
+        projected = kernel.determinize_minimized(nfa)
         return RelationAutomaton(self.alphabet, new_arity, projected)
 
     def cylindrify(self, position: int) -> "RelationAutomaton":

@@ -352,6 +352,9 @@ class AutomataBackend(EngineBackend):
 
     def decision_cost(self, cost, planner):
         # One state expansion costs as much as `bias` direct checks.
+        # The bias models the dense kernel (flat-array products, lazy
+        # pipelines, vectorized Hopcroft — see repro/automata/kernel.py),
+        # not the legacy dict-of-dicts machinery; see DIRECT_BIAS.
         return cost * planner.bias
 
     def chosen_reason(self, costs, planner):

@@ -11,8 +11,9 @@ the evaluation stack call :func:`checkpoint` — which raises
 Checkpoints are threaded through every place the engines can spend
 unbounded time:
 
-* :func:`repro.automata.ops._product` — one check per product state
-  expanded (the classic blowup point);
+* the :mod:`repro.automata.kernel` pipelines — product exploration,
+  subset construction, and Hopcroft refinement all checkpoint on a small
+  stride (the classic blowup points);
 * :meth:`repro.automata.nfa.NFA.determinize` — one check per subset state;
 * :meth:`repro.automata.hopcroft.minimize`'s refinement loop;
 * :meth:`repro.eval.automata_engine.AutomataEngine._build` — per

@@ -208,12 +208,25 @@ class Explain:
     finite: bool
     tuple_count: Optional[int]
 
+    @property
+    def kernel_stats(self) -> dict[str, float]:
+        """This run's dense-kernel counters, with the ``kernel.`` prefix
+        stripped: interned symbols, dense automata/states built, lazy
+        products, short-circuited decisions, minimizations, …"""
+        prefix = "kernel."
+        return {
+            name[len(prefix):]: value
+            for name, value in self.counters.items()
+            if name.startswith(prefix)
+        }
+
     def to_dict(self) -> dict:
         return {
             "plan": self.plan.to_dict(),
             "tree": self.root.to_dict(),
             "seconds": round(self.seconds, 6),
             "counters": dict(self.counters),
+            "kernel": self.kernel_stats,
             "cache": dict(self.cache_stats),
             "result": {
                 "variables": list(self.variables),
@@ -234,6 +247,12 @@ class Explain:
             f"output({', '.join(self.variables) or 'boolean'}): {shape}",
             f"cache: hits={cache['hits']} misses={cache['misses']} "
             f"size={cache['size']}/{cache['maxsize']}",
+        ]
+        kernel = self.kernel_stats
+        if kernel:
+            shown = " ".join(f"{k}={v:g}" for k, v in sorted(kernel.items()))
+            lines.append(f"kernel: {shown}")
+        lines += [
             "",
             self.root.render(),
         ]

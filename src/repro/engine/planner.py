@@ -95,9 +95,12 @@ from repro.structures.base import StringStructure
 DIRECT_COST_CEILING = 2_000_000.0
 
 #: One automata state expansion is assumed to cost as much as this many
-#: direct candidate checks (python-level enumeration is much cheaper per
-#: step than product/minimize machinery).
-DIRECT_BIAS = 64.0
+#: direct candidate checks.  Retuned for the dense integer-coded kernel
+#: (:mod:`repro.automata.kernel`): with flat-array products, vectorized
+#: Hopcroft and lazy pipelines, a state expansion is ~5× cheaper than the
+#: old dict-of-dicts machinery the previous value (64) was measured
+#: against, so the automata engine wins ties it used to lose.
+DIRECT_BIAS = 24.0
 
 #: Fixed cost (in direct-check units) charged to the algebra engine for
 #: compiling the query to RA(M) and running the rewrite fixpoint.  Keeps

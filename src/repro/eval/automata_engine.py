@@ -187,15 +187,20 @@ class AutomataEngine:
             rel, variables = self._build(f.inner)
             return rel.complement(), variables
         if isinstance(f, (And, Or)):
+            # N-ary conjunction/disjunction in one lazy kernel pipeline:
+            # folding pairwise would materialize and minimize every
+            # intermediate product; the kernel explores the reachable
+            # n-ary product once and minimizes once.
             target = tuple(sorted(f.free_variables()))
-            combine = RelationAutomaton.intersection if isinstance(f, And) else RelationAutomaton.union
-            acc: Optional[RelationAutomaton] = None
+            parts: list[RelationAutomaton] = []
             for part in f.parts:
                 rel, variables = self._build(part)
-                rel, variables = self._align(rel, variables, target)
-                acc = rel if acc is None else combine(acc, rel)
-            assert acc is not None
-            return acc, target
+                rel, _variables = self._align(rel, variables, target)
+                parts.append(rel)
+            assert parts
+            if isinstance(f, And):
+                return RelationAutomaton.intersect_all(parts), target
+            return RelationAutomaton.union_all(parts), target
         if isinstance(f, Exists):
             return self._exists(f.var, f.body, f.kind)
         if isinstance(f, Forall):

@@ -105,7 +105,9 @@ def extension_set_relation(
         trie_states + tail_states[1:],
         transitions,
     )
-    return RelationAutomaton(alphabet, 1, nfa.determinize().minimize())
+    from repro.automata import kernel
+
+    return RelationAutomaton(alphabet, 1, kernel.determinize_minimized(nfa))
 
 
 def near_prefix_relation(alphabet: Alphabet, slack: int) -> RelationAutomaton:

@@ -18,6 +18,7 @@ FO[<] fragment characterizes the star-free languages definable over S.
 
 from __future__ import annotations
 
+from repro.automata import kernel
 from repro.automata.dfa import DFA
 from repro.automata.nfa import NFA
 from repro.errors import EvaluationError
@@ -92,7 +93,7 @@ class MsoCompiler:
         dfa, keys = self.compile(formula)
         if keys:
             raise EvaluationError(f"not a sentence; free variables {keys}")
-        return dfa.map_symbols(lambda sym: sym[0]).minimize()
+        return kernel.minimize_dfa(dfa.map_symbols(lambda sym: sym[0]))
 
     def _keys(self, f: MsoFormula) -> tuple[VarKey, ...]:
         return tuple(
@@ -124,35 +125,22 @@ class MsoCompiler:
         if isinstance(f, (Less, Succ)):
             return self._order_dfa(f, keys, symbols, index)
         if isinstance(f, MsoNot):
+            # ¬f within the valid words: one fused kernel pipeline
+            # (complement ∧ valid, minimized) — no dict intermediates.
             inner = self._cylindrified(f.inner, keys)
-            comp = inner.complement()
-            from repro.automata.ops import intersection
-
-            return intersection(comp, _valid_dfa(self.alphabet, keys)).minimize()
+            return kernel.complement_within(inner, _valid_dfa(self.alphabet, keys))
         if isinstance(f, MsoAnd):
-            from repro.automata.ops import intersection
-
-            acc = None
-            for p in f.parts:
-                d = self._cylindrified(p, keys)
-                acc = d if acc is None else intersection(acc, d)
-            assert acc is not None
-            return acc.minimize()
+            parts = [self._cylindrified(p, keys) for p in f.parts]
+            return kernel.intersect_all_minimized(parts)
         if isinstance(f, MsoOr):
-            from repro.automata.ops import intersection, union
-
-            acc = None
-            for p in f.parts:
-                d = self._cylindrified(p, keys)
-                acc = d if acc is None else union(acc, d)
-            assert acc is not None
-            return intersection(acc, _valid_dfa(self.alphabet, keys)).minimize()
+            parts = [self._cylindrified(p, keys) for p in f.parts]
+            return kernel.union_all_within(parts, _valid_dfa(self.alphabet, keys))
         if isinstance(f, (ExistsPos, ExistsSet)):
             kind = "p" if isinstance(f, ExistsPos) else "s"
             inner_keys = tuple(sorted(set(keys) | {(kind, f.var)}))
             inner = self._build(f.body, inner_keys)
             drop = inner_keys.index((kind, f.var))
-            return self._project(inner, drop, keys).minimize()
+            return self._project(inner, drop, keys)
         raise EvaluationError(f"unknown MSO node {f!r}")
 
     def _single_track_dfa(self, symbols, predicate, needed_tracks: set[int]) -> DFA:
@@ -228,7 +216,11 @@ class MsoCompiler:
         return DFA(target_symbols, inner.states, inner.start, inner.accepting, transitions)
 
     def _project(self, dfa: DFA, drop: int, keys: tuple[VarKey, ...]) -> DFA:
-        """Remove track ``drop`` (NFA projection + determinization)."""
+        """Remove track ``drop`` (NFA projection + kernel determinize).
+
+        Returns the minimal DFA directly: the kernel's bitmask subset
+        construction feeds its dense Hopcroft pass in one chain.
+        """
         target_symbols = _ext_symbols(self.alphabet, len(keys))
         transitions: dict[object, dict[object, set[object]]] = {}
         for q, delta in dfa.transitions.items():
@@ -237,7 +229,7 @@ class MsoCompiler:
                 reduced = (ch, bits[:drop] + bits[drop + 1:])
                 transitions.setdefault(q, {}).setdefault(reduced, set()).add(t)
         nfa = NFA(target_symbols, dfa.states, [dfa.start], dfa.accepting, transitions)
-        return nfa.determinize()
+        return kernel.determinize_minimized(nfa)
 
 
 def mso_to_dfa(formula: MsoFormula, alphabet: Alphabet) -> DFA:

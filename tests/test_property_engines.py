@@ -205,6 +205,37 @@ class TestThreeEngineAgreement:
             assert auto == query.result(db, engine=engine).as_set(), engine
 
 
+class TestKernelBackedAutomataRuns:
+    """The automata engine's compilations now run on the dense kernel
+    (``repro.automata.kernel``): re-assert three-engine agreement while
+    checking the ``kernel.*`` METRICS actually move — evidence the dense
+    path, not a silent dict-DFA fallback, produced the agreeing answers."""
+
+    ENGINES = ("automata", "direct", "algebra")
+
+    @settings(max_examples=30, deadline=None)
+    @given(formula=adom_formulas(VARS, depth=2), db=databases)
+    def test_dense_kernel_runs_underneath_agreeing_engines(self, formula, db):
+        from repro.engine.metrics import METRICS
+
+        structure = S_len(BINARY)
+        anchored = _anchor(formula)
+        before = METRICS.snapshot().get("kernel.dense_dfas", 0)
+        auto = AutomataEngine(structure, db, slack=0).run(anchored)
+        assert METRICS.snapshot().get("kernel.dense_dfas", 0) > before
+        direct = DirectEngine(structure, db, slack=0).run(anchored)
+        assert auto.as_set() == direct.as_set(), str(anchored)
+
+    def test_explain_surfaces_kernel_stats(self):
+        db = Database(BINARY, {"R": {("01",), ("10",)}, "S": set()})
+        explain = Query(
+            and_(rel("R", "u"), last("u", "0")), structure="S_len"
+        ).explain(db, engine="automata")
+        assert explain.kernel_stats, explain.counters
+        assert "kernel" in explain.to_dict()
+        assert "kernel:" in explain.render()
+
+
 class TestCanonicalizationRoundTrip:
     """Canonicalization (repro.logic.canonical) is semantics-preserving:
     alpha-renaming binders and sorting commutative conjuncts/disjuncts

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Fail the build if kernel-converted hot paths regress to dict DFAs.
+
+The dense automata kernel (``src/repro/automata/kernel.py``) is the only
+path the converted hot modules may use to build automata: boolean
+combinations go through ``kernel.product_dfa`` / the ``*_minimized``
+helpers, subset construction through ``kernel.determinize_minimized``,
+and pattern compilation stays dense end to end.  Constructing a
+dict-of-dicts :class:`~repro.automata.dfa.DFA` directly in one of these
+modules silently reintroduces the per-state tuple/dict churn the kernel
+exists to avoid — the code still passes every functional test, only
+slower, which is exactly the regression a test suite cannot see.
+
+This linter scans the converted modules for direct ``DFA(...)``
+construction (``DenseDFA`` is fine; that *is* the kernel) and exits
+non-zero listing the offenders.  Modules that legitimately build base
+automata symbol-by-symbol (``mso/to_dfa.py`` atoms, ``automatic/
+convolution.py`` pad validity, ``automatic/relation.py`` trie builders)
+are deliberately not listed: constructing the *initial* automaton is
+their job; combining automata is the kernel's.
+
+Run via ``make lint-kernel`` (wired into ``make test``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Converted hot modules that must stay free of direct DFA construction.
+CONVERTED = [
+    "src/repro/automata/ops.py",
+    "src/repro/automata/regex.py",
+    "src/repro/eval/automata_engine.py",
+    "src/repro/sql/like.py",
+    "src/repro/sql/similar.py",
+]
+
+# `DFA(` with no identifier character before it: flags `DFA(...)` and
+# `dfa_mod.DFA(...)` but not `DenseDFA(...)` or `to_min_dfa(...)`.
+DIRECT_DFA = re.compile(r"(?<![A-Za-z0-9_])DFA\s*\(")
+
+
+def offenders() -> list[str]:
+    found: list[str] = []
+    for rel in CONVERTED:
+        path = ROOT / rel
+        if not path.exists():
+            found.append(f"{rel}: listed in lint_kernel.CONVERTED but missing")
+            continue
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if DIRECT_DFA.search(line):
+                found.append(f"{rel}:{lineno}: {line.strip()}")
+    return found
+
+
+def main() -> int:
+    bad = offenders()
+    if bad:
+        print(
+            "direct DFA(...) construction in a kernel-converted module — "
+            "combine automata through repro.automata.kernel instead:",
+            file=sys.stderr,
+        )
+        for line in bad:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(
+        f"lint-kernel: ok ({len(CONVERTED)} converted modules stay on the "
+        "dense kernel)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
