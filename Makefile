@@ -4,14 +4,17 @@
 PY := PYTHONPATH=src python
 SMOKE_DIR := .bench-smoke
 
-.PHONY: test test-full docs-check lint-dispatch lint-kernel bench-smoke \
-	bench-algebra bench-algebra-smoke bench-kernel bench-kernel-smoke \
-	bench-compare bench-full bench-service serve-smoke clean
+.PHONY: test test-full docs-check lint-dispatch lint-kernel lint-shard \
+	lint-docs bench-smoke bench-algebra bench-algebra-smoke bench-kernel \
+	bench-kernel-smoke bench-shard bench-shard-smoke bench-compare \
+	bench-full bench-service serve-smoke clean
 
 ## Fast local loop: lints, skip @pytest.mark.slow tests, then smoke the
-## perf claims cheapest to regress silently (algebra joins + the dense
-## automata kernel, gated against the committed BENCH_kernel.json).
-test: lint-dispatch lint-kernel bench-algebra-smoke bench-kernel-smoke
+## perf claims cheapest to regress silently (algebra joins, the dense
+## automata kernel, and the shard scatter-gather pool, each gated
+## against its committed BENCH_*.json).
+test: lint-dispatch lint-kernel lint-shard bench-algebra-smoke \
+		bench-kernel-smoke bench-shard-smoke
 	$(PY) -m pytest -x -q -m "not slow"
 
 ## Fail if engine-name literal comparisons (== "automata"/"direct"/
@@ -25,13 +28,25 @@ lint-dispatch:
 lint-kernel:
 	$(PY) tools/lint_kernel.py
 
+## Fail if transport primitives (sockets/pipes/subprocesses) appear in
+## src/repro/ outside shard/ + service/ — deadlines, retries, and
+## structured errors live there; nothing may tunnel around them.
+lint-shard:
+	$(PY) tools/lint_shard.py
+
+## Fail on dead relative links or heading anchors in README.md and
+## docs/*.md (GitHub slug rules; see tools/lint_docs_links.py).
+lint-docs:
+	$(PY) tools/lint_docs_links.py
+
 ## The whole suite, slow tests included (what CI should run).
 test-full:
 	$(PY) -m pytest -x -q
 
 ## Run every fenced `python -m repro ...` command in docs/*.md against the
-## tiny fixture database (keeps the documentation executable).
-docs-check:
+## tiny fixture database (keeps the documentation executable), then check
+## every intra-doc link and anchor resolves.
+docs-check: lint-docs
 	$(PY) -m pytest tests/test_docs_examples.py -q
 
 ## Run each standalone benchmark at minimal size and assert that its
@@ -71,9 +86,22 @@ bench-kernel-smoke:
 	mkdir -p $(SMOKE_DIR)
 	$(PY) benchmarks/bench_kernel.py --smoke --compare --explain-json $(SMOKE_DIR)/kernel.json
 
+## Multi-process scatter-gather vs single-process execution on the
+## partitioned-scan shape (full sweep, asserts the >=2.5x speedup at 4
+## workers and gates every ratio against BENCH_shard.json).
+bench-shard:
+	mkdir -p $(SMOKE_DIR)
+	$(PY) benchmarks/bench_shard.py --compare --explain-json $(SMOKE_DIR)/shard.json
+
+## Minimal size of the same sweep, still gated against the baseline;
+## part of `make test`'s fast path.
+bench-shard-smoke:
+	mkdir -p $(SMOKE_DIR)
+	$(PY) benchmarks/bench_shard.py --smoke --compare --explain-json $(SMOKE_DIR)/shard.json
+
 ## Re-measure and gate without the full pytest run (alias kept for the
 ## name used in docs; exits non-zero on any >1.3x speedup regression).
-bench-compare: bench-kernel
+bench-compare: bench-kernel bench-shard
 
 bench-full:
 	$(PY) -m pytest benchmarks/ --benchmark-only

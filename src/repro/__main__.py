@@ -10,7 +10,10 @@ Usage::
     python -m repro safety "last(x, '0')" --db db.json
     python -m repro sql "SELECT r.1 FROM R r WHERE r.1 LIKE '0%'" --db db.json
     python -m repro language "matches(x, '(00)*')" --structure S_reg
+    python -m repro run "R(x)" --db db.json --shards 4   # scatter-gather pool
+    python -m repro explain "R(x)" --db db.json --shards 2  # shard decomposition
     python -m repro serve --stdio --db main=db.json    # NDJSON query service
+    python -m repro serve --shards 4 --db main=db.json # sharded service
 
 ``run`` auto-selects the evaluation engine through the cost-based planner
 (:mod:`repro.engine`); pass ``--engine automata|direct|algebra`` to
@@ -83,7 +86,46 @@ def load_database(path: str) -> StringDatabase:
             raise DatabaseFileError(
                 f"database file {path!r}: relation {name!r} has a non-row entry"
             ) from None
-    return StringDatabase(spec.get("alphabet", "01"), relations)
+    schema_spec = spec.get("schema")
+    schema = None
+    if schema_spec is not None:
+        from repro.database.schema import Schema
+
+        if not isinstance(schema_spec, dict) or not all(
+            isinstance(a, int) and not isinstance(a, bool)
+            for a in schema_spec.values()
+        ):
+            raise DatabaseFileError(
+                f"database file {path!r}: \"schema\" must map relation "
+                "names to integer arities"
+            )
+        schema = Schema(schema_spec)
+    return StringDatabase(spec.get("alphabet", "01"), relations, schema=schema)
+
+
+def _shard_scope(args: argparse.Namespace, db: StringDatabase):
+    """An ephemeral shard pool for one CLI invocation (``--shards N``).
+
+    Registers the query's database on a fresh coordinator so the planner
+    can (or, with ``--engine sharded``, must) scatter-gather; a plain
+    no-op context when ``--shards`` was not given.
+    """
+    import contextlib
+
+    if not getattr(args, "shards", None):
+        return contextlib.nullcontext()
+
+    @contextlib.contextmanager
+    def scope():
+        from repro.shard import ShardCoordinator
+
+        with ShardCoordinator(
+            shards=args.shards, scheme=args.shard_scheme
+        ) as coordinator:
+            coordinator.register_database("cli", db)
+            yield coordinator
+
+    return scope()
 
 
 def _check_relations(q: Query, db: StringDatabase) -> None:
@@ -100,12 +142,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     db = load_database(args.db)
     q = Query(args.query, structure=args.structure, alphabet=db.alphabet)
     _check_relations(q, db)
-    table = q.run(
-        db,
-        engine=args.engine,
-        limit=args.limit,
-        timeout=args.timeout,
-    )
+    with _shard_scope(args, db):
+        table = q.run(
+            db,
+            engine=args.engine,
+            limit=args.limit,
+            timeout=args.timeout,
+        )
     print("\t".join(table.columns))
     for row in table:
         print("\t".join(row))
@@ -116,7 +159,8 @@ def cmd_explain(args: argparse.Namespace) -> int:
     db = load_database(args.db)
     q = Query(args.query, structure=args.structure, alphabet=db.alphabet)
     _check_relations(q, db)
-    report = q.explain(db, engine=args.engine, timeout=args.timeout)
+    with _shard_scope(args, db):
+        report = q.explain(db, engine=args.engine, timeout=args.timeout)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -160,6 +204,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.queue_size,
         backpressure=args.backpressure,
         default_timeout=args.default_timeout,
+        shards=args.shards,
+        shard_scheme=args.shard_scheme,
     )
     service = QueryService(config)
     for spec in args.db or []:
@@ -171,9 +217,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return serve_stdio(service)
     server = serve_tcp(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
+    sharding = f", {config.shards} shards" if config.shards else ""
     print(f"serving on {host}:{port} "
           f"({config.workers} workers, queue {config.max_pending}, "
-          f"{config.backpressure})", file=sys.stderr)
+          f"{config.backpressure}{sharding})", file=sys.stderr)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -227,6 +274,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("--limit", type=int, default=None,
                        help="sample size for infinite outputs")
+    p_run.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="evaluate over an ephemeral pool of N shard "
+                            "worker processes (see docs/sharding.md)")
+    p_run.add_argument("--shard-scheme", choices=["hash", "relation"],
+                       default="hash", dest="shard_scheme",
+                       help="partitioning scheme for --shards")
     p_run.add_argument(
         "--timeout",
         type=float,
@@ -250,6 +303,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
+    p_explain.add_argument("--shards", type=int, default=0, metavar="N",
+                           help="plan against an ephemeral pool of N shard "
+                                "workers and show the shard decomposition")
+    p_explain.add_argument("--shard-scheme", choices=["hash", "relation"],
+                           default="hash", dest="shard_scheme",
+                           help="partitioning scheme for --shards")
     p_explain.add_argument(
         "--timeout",
         type=float,
@@ -290,6 +349,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--default-timeout", type=float, default=None,
                          metavar="SECONDS",
                          help="deadline for requests that set none")
+    p_serve.add_argument("--shards", type=int, default=0, metavar="N",
+                         help="partition registered databases across N "
+                              "shard worker processes (0 = off)")
+    p_serve.add_argument("--shard-scheme", choices=["hash", "relation"],
+                         default="hash", dest="shard_scheme",
+                         help="partitioning scheme for --shards")
     p_serve.add_argument("--db", action="append", default=[],
                          metavar="NAME=FILE",
                          help="register a database at startup (repeatable)")

@@ -102,6 +102,34 @@ class ServiceClosedError(ServiceError):
     """The service is draining or shut down and accepts no new requests."""
 
 
+class ShardError(ServiceError):
+    """A sharded execution could not produce a complete answer.
+
+    Raised by the shard coordinator (:mod:`repro.shard`) when a shard
+    worker is unreachable, exits mid-request, misses its per-shard
+    deadline, or returns an error — the coordinator never silently
+    drops a shard's rows, so any incomplete gather surfaces as this
+    error instead of a partial result.
+
+    Attributes
+    ----------
+    retryable:
+        ``True`` (the default) for transport-level failures — the
+        coordinator restarts dead workers, so a retry can succeed.
+        ``False`` when a shard reported a non-retryable query error
+        (the retry would deterministically fail again) or the
+        coordinator was asked to run against an unsharded database.
+    shard:
+        Index of the failing shard (``None`` when not tied to one).
+    """
+
+    def __init__(self, message: str, retryable: bool = True,
+                 shard: "int | None" = None):
+        super().__init__(message)
+        self.retryable = retryable
+        self.shard = shard
+
+
 class ArityError(ReproError):
     """A relation was used with the wrong number of arguments."""
 

@@ -16,7 +16,10 @@ Operations
 ``register_db``
     ``{"op": "register_db", "name": "main", "db": {"alphabet": "01",
     "relations": {"R": [["0110"], ["001"]]}}}`` → the fingerprint.  Same
-    JSON shape as ``--db`` files.
+    JSON shape as ``--db`` files.  An optional ``"schema"`` object
+    (``{"T": 2}``) pins relation arities — without it an *empty*
+    relation defaults to arity 1, which matters for shard partitions
+    where a relation can be empty on one worker but binary on another.
 ``list_dbs``
     → ``{"databases": [...]}``.
 ``prepare``
@@ -166,7 +169,20 @@ class Dispatcher:
             relations[rel] = [
                 (row,) if isinstance(row, str) else tuple(row) for row in rows
             ]
-        db = StringDatabase(spec.get("alphabet", "01"), relations)
+        schema_spec = spec.get("schema")
+        schema = None
+        if schema_spec is not None:
+            from repro.database.schema import Schema
+
+            if not isinstance(schema_spec, dict) or not all(
+                isinstance(a, int) and not isinstance(a, bool)
+                for a in schema_spec.values()
+            ):
+                raise ProtocolError(
+                    '"schema" must map relation names to integer arities'
+                )
+            schema = Schema(schema_spec)
+        db = StringDatabase(spec.get("alphabet", "01"), relations, schema=schema)
         fingerprint = self.service.register_database(name, db)
         return {"name": name, "fingerprint": fingerprint}, False
 

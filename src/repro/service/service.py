@@ -30,7 +30,12 @@ into a serving tier on top of the PR 1 engine core:
   retryable, ``parse``/``invalid``/``unsafe``/``internal`` are not);
 * **graceful shutdown** — :meth:`QueryService.close` stops admission and
   either drains the queue or cancels pending requests with a retryable
-  *unavailable* error.
+  *unavailable* error;
+* optional **sharding** — ``shards=N`` spawns a pool of shard worker
+  *processes* (:mod:`repro.shard`); every registered database is
+  partitioned onto it and queries whose plans distribute scatter-gather
+  across the pool (shard failures surface as structured ``shard``
+  errors, never as silent partial results).
 
 The wire protocol on top of this lives in :mod:`repro.service.protocol`
 and :mod:`repro.service.server`; tuning knobs are documented in
@@ -70,6 +75,7 @@ from repro.errors import (
     ReproError,
     ServiceClosedError,
     ServiceError,
+    ShardError,
     UnsafeQueryError,
 )
 from repro.logic.canonical import canonical_fingerprint
@@ -98,8 +104,8 @@ RETRYABLE_CODES = frozenset({"timeout", "overloaded", "unavailable"})
 class ErrorInfo:
     """A structured, wire-serializable request failure."""
 
-    code: str            # timeout | overloaded | unavailable | parse |
-                         # invalid | unsafe | internal
+    code: str            # timeout | overloaded | unavailable | shard |
+                         # parse | invalid | unsafe | internal
     message: str
     retryable: bool
 
@@ -124,6 +130,10 @@ def classify_error(exc: BaseException) -> ErrorInfo:
         return ErrorInfo("overloaded", str(exc), retryable=True)
     if isinstance(exc, ServiceClosedError):
         return ErrorInfo("unavailable", str(exc), retryable=True)
+    if isinstance(exc, ShardError):
+        # Worker crashes / stragglers are retryable; certificate or
+        # registration problems are not — the error carries the bit.
+        return ErrorInfo("shard", str(exc), retryable=exc.retryable)
     if isinstance(exc, ParseError):
         return ErrorInfo("parse", str(exc), retryable=False)
     if isinstance(exc, UnsafeQueryError):
@@ -197,6 +207,8 @@ class ServiceConfig:
     backpressure: str = "reject"          # "reject" | "block"
     default_timeout: Optional[float] = None
     cache: Optional[AutomatonCache] = None  # defaults to the global cache
+    shards: int = 0                       # 0 = no shard pool
+    shard_scheme: str = "hash"            # "hash" | "relation"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -207,6 +219,13 @@ class ServiceConfig:
             raise ServiceError(
                 f"backpressure must be 'reject' or 'block', got "
                 f"{self.backpressure!r}"
+            )
+        if self.shards < 0:
+            raise ServiceError("shards must be >= 0 (0 disables sharding)")
+        if self.shard_scheme not in ("hash", "relation"):
+            raise ServiceError(
+                f"shard_scheme must be 'hash' or 'relation', got "
+                f"{self.shard_scheme!r}"
             )
 
 
@@ -385,6 +404,16 @@ class QueryService:
             raise ServiceError("pass a ServiceConfig or keyword overrides, not both")
         self.config = config
         self._cache = config.cache if config.cache is not None else global_cache()
+        # shards > 0 spawns a worker-process pool; every registered
+        # database is partitioned onto it and the planner's `sharded`
+        # backend enters the cost argmin for distributing queries.
+        self._coordinator = None
+        if config.shards > 0:
+            from repro.shard import ShardCoordinator
+
+            self._coordinator = ShardCoordinator(
+                shards=config.shards, scheme=config.shard_scheme
+            )
         self._databases: dict[str, _NamedDatabase] = {}
         # Interned per (canonical fingerprint, structure); the text-keyed
         # alias map short-circuits re-parsing on repeated exact text.
@@ -412,6 +441,10 @@ class QueryService:
         contents automatically (plans are keyed by fingerprint)."""
         db = database.db if isinstance(database, StringDatabase) else database
         entry = _NamedDatabase(name, db, database_fingerprint(db))
+        if self._coordinator is not None:
+            # Partition onto the shard pool first: if a worker rejects
+            # the data the service registry stays consistent.
+            self._coordinator.register_database(name, db)
         with self._registry_lock:
             self._databases[name] = entry
         METRICS.inc("service.databases_registered")
@@ -567,6 +600,8 @@ class QueryService:
             self._queue.put(_SENTINEL)
         for t in self._workers:
             t.join(timeout)
+        if self._coordinator is not None:
+            self._coordinator.close()
 
     def __enter__(self) -> "QueryService":
         return self
@@ -586,7 +621,7 @@ class QueryService:
             for name, value in snapshot.items()
             if name.startswith("service.")
         }
-        return {
+        out = {
             "workers": self.config.workers,
             "max_pending": self.config.max_pending,
             "backpressure": self.config.backpressure,
@@ -596,6 +631,9 @@ class QueryService:
             "cache": self._cache.stats(),
             "counters": service_counters,
         }
+        if self._coordinator is not None:
+            out["sharding"] = self._coordinator.stats()
+        return out
 
     # ------------------------------------------------------------- internals
 

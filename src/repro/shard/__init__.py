@@ -1,0 +1,57 @@
+"""Multi-process sharded scatter-gather execution.
+
+The package turns the single-process query stack into a coordinator
+plus a pool of shard worker *processes* — each worker is effectively
+``python -m repro serve --stdio`` owning one horizontal partition of
+every registered database and its own automaton/plan caches, so the
+GIL stops being the ceiling on selection-heavy workloads.  The
+coordinator↔shard wire format is the existing NDJSON protocol
+(:mod:`repro.service.protocol`) verbatim: a local pool and a remote
+deployment are one code path.
+
+Layers (see ``docs/sharding.md``):
+
+* :mod:`repro.shard.partition` — hash-by-tuple and by-relation
+  partitioners, fingerprinted per shard;
+* :mod:`repro.shard.pool` — the worker subprocesses and the pipelined
+  NDJSON request/response plumbing (per-request ids, per-shard
+  deadlines, dead-worker detection);
+* :mod:`repro.shard.coordinator` — plan decomposition (via
+  :mod:`repro.algebra.distribute`), scatter-gather with straggler
+  retry, and the union/dedup merge;
+* :mod:`repro.shard.backend` — the ``sharded``
+  :class:`~repro.engine.backend.EngineBackend` entering the planner's
+  cost argmin, plus the fingerprint router that ties plain
+  :class:`~repro.database.instance.Database` objects to their
+  coordinator.
+"""
+
+from repro.shard.backend import ShardTrace, ShardedBackend, route_for
+from repro.shard.coordinator import GatherResult, ShardCoordinator
+from repro.shard.partition import (
+    SCHEMES,
+    ShardedDatabase,
+    partition_database,
+    relation_assignment,
+    shard_database,
+    shard_of_relation,
+    shard_of_row,
+)
+from repro.shard.pool import ShardWorker, WorkerPool
+
+__all__ = [
+    "SCHEMES",
+    "GatherResult",
+    "ShardCoordinator",
+    "ShardTrace",
+    "ShardWorker",
+    "ShardedBackend",
+    "ShardedDatabase",
+    "WorkerPool",
+    "partition_database",
+    "relation_assignment",
+    "route_for",
+    "shard_database",
+    "shard_of_relation",
+    "shard_of_row",
+]

@@ -1,0 +1,246 @@
+"""Shard worker processes: ``python -m repro serve --stdio`` under a pipe.
+
+Each :class:`ShardWorker` is a real operating-system process running the
+unmodified NDJSON service loop (:func:`repro.service.server.serve_stdio`)
+— its own interpreter, its own GIL, its own automaton/plan caches.  The
+coordinator talks to it over stdin/stdout with the wire protocol used by
+every other deployment of the service; nothing in the worker knows it is
+a shard.
+
+Concurrency model: requests carry monotonically increasing ids; a single
+reader thread per worker demultiplexes response lines back to waiting
+callers, so any number of coordinator threads can have requests in
+flight on the same worker (the worker itself runs one evaluation thread
+— parallelism comes from having many workers).  A worker that exits or
+emits garbage fails *all* of its in-flight requests with a retryable
+:class:`~repro.errors.ShardError`; the pool can then
+:meth:`~WorkerPool.restart` the slot and the coordinator re-registers
+its partitions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+from typing import Any, Optional
+
+from repro.engine.metrics import METRICS
+from repro.errors import ShardError
+
+__all__ = ["ShardWorker", "WorkerPool"]
+
+#: Seconds to wait for a worker's readiness ping at spawn.
+START_TIMEOUT = 30.0
+
+
+def _src_root() -> str:
+    """The directory to put on the worker's ``PYTHONPATH`` (``…/src``)."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+class _Waiter:
+    """One in-flight request: an event the reader thread completes."""
+
+    __slots__ = ("event", "response", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: Optional[dict] = None
+        self.error: Optional[ShardError] = None
+
+    def wait(self, timeout: Optional[float]) -> dict:
+        if not self.event.wait(timeout):
+            raise ShardError(
+                f"shard request still pending after {timeout:.6g}s "
+                "(straggler)",
+                retryable=True,
+            )
+        if self.error is not None:
+            raise self.error
+        assert self.response is not None
+        return self.response
+
+
+class ShardWorker:
+    """One shard process plus its demultiplexing reader thread."""
+
+    def __init__(self, index: int, service_workers: int = 1):
+        self.index = index
+        argv = [
+            sys.executable, "-m", "repro", "serve", "--stdio",
+            "--workers", str(service_workers),
+        ]
+        env = dict(os.environ)
+        src = _src_root()
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+        self.process = subprocess.Popen(
+            argv,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._waiters: dict[int, _Waiter] = {}
+        self._dead: Optional[str] = None
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"shard-{index}-reader", daemon=True
+        )
+        self._reader.start()
+        METRICS.inc("shard.workers_started")
+        # Readiness barrier: the first response also absorbs interpreter
+        # start-up, so it never counts against a query's own deadline.
+        pong = self.request({"op": "ping"}, timeout=START_TIMEOUT)
+        if not pong.get("pong"):
+            raise ShardError(
+                f"shard {index} failed its readiness ping: {pong!r}"
+            )
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def alive(self) -> bool:
+        return self._dead is None and self.process.poll() is None
+
+    def submit(self, body: dict[str, Any]) -> _Waiter:
+        """Write one request line; the waiter completes on its response."""
+        waiter = _Waiter()
+        with self._lock:
+            if self._dead is not None:
+                raise ShardError(
+                    f"shard {self.index} is down: {self._dead}", retryable=True,
+                    shard=self.index,
+                )
+            self._counter += 1
+            request_id = self._counter
+            self._waiters[request_id] = waiter
+            line = json.dumps({**body, "id": request_id})
+            try:
+                assert self.process.stdin is not None
+                self.process.stdin.write(line + "\n")
+                self.process.stdin.flush()
+            except (BrokenPipeError, OSError, ValueError) as exc:
+                self._waiters.pop(request_id, None)
+                self._fail_locked(f"write failed: {exc}")
+                raise ShardError(
+                    f"shard {self.index} is down: write failed ({exc})",
+                    retryable=True, shard=self.index,
+                ) from None
+        METRICS.inc("shard.requests")
+        return waiter
+
+    def request(
+        self, body: dict[str, Any], timeout: Optional[float] = None
+    ) -> dict:
+        """Submit and wait (transport errors raise, protocol errors don't:
+        a well-formed ``{"ok": false, ...}`` response is returned as-is)."""
+        return self.submit(body).wait(timeout)
+
+    def _read_loop(self) -> None:
+        stdout = self.process.stdout
+        assert stdout is not None
+        for line in stdout:
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                with self._lock:
+                    self._fail_locked(f"sent a non-JSON line: {line[:80]!r}")
+                return
+            waiter = None
+            with self._lock:
+                request_id = obj.get("id")
+                if isinstance(request_id, int):
+                    waiter = self._waiters.pop(request_id, None)
+            if waiter is not None:
+                waiter.response = obj
+                waiter.event.set()
+        with self._lock:
+            self._fail_locked("process exited")
+
+    def _fail_locked(self, why: str) -> None:
+        """Mark dead and fail every in-flight request (lock held)."""
+        if self._dead is None:
+            self._dead = why
+            METRICS.inc("shard.worker_deaths")
+        waiters, self._waiters = self._waiters, {}
+        for waiter in waiters.values():
+            waiter.error = ShardError(
+                f"shard {self.index} died mid-request: {why}",
+                retryable=True, shard=self.index,
+            )
+            waiter.event.set()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Best-effort graceful shutdown, then terminate."""
+        with self._lock:
+            if self._dead is None:
+                try:
+                    assert self.process.stdin is not None
+                    self.process.stdin.write(
+                        json.dumps({"op": "shutdown", "drain": False}) + "\n"
+                    )
+                    self.process.stdin.flush()
+                    self.process.stdin.close()
+                except (BrokenPipeError, OSError, ValueError):
+                    pass
+        try:
+            self.process.wait(timeout=5)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait()
+        with self._lock:
+            self._fail_locked("closed")
+
+
+class WorkerPool:
+    """A fixed-size array of :class:`ShardWorker` slots."""
+
+    def __init__(self, shards: int):
+        if shards < 1:
+            raise ShardError(f"shards must be >= 1, got {shards}",
+                             retryable=False)
+        self._lock = threading.Lock()
+        self.workers: list[ShardWorker] = []
+        try:
+            for i in range(shards):
+                self.workers.append(ShardWorker(i))
+        except Exception:
+            for w in self.workers:
+                w.close()
+            raise
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def worker(self, shard: int) -> ShardWorker:
+        return self.workers[shard]
+
+    def restart(self, shard: int) -> ShardWorker:
+        """Replace a dead (or wedged) worker slot with a fresh process.
+
+        The caller owns re-registering the slot's partitions — the pool
+        knows transport, not data placement.
+        """
+        with self._lock:
+            old = self.workers[shard]
+            old.close()
+            fresh = ShardWorker(shard)
+            self.workers[shard] = fresh
+        METRICS.inc("shard.worker_restarts")
+        return fresh
+
+    def close(self) -> None:
+        with self._lock:
+            workers, self.workers = self.workers, []
+        for w in workers:
+            w.close()

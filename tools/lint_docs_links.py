@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Fail the build on dead intra-repository links in the documentation.
+
+The docs cross-reference each other heavily (``docs/architecture.md``
+links every subsystem page, README links the docs, pages link section
+anchors).  Renaming a file or retitling a heading silently breaks those
+links — Markdown renders a dead link exactly like a live one, so nothing
+else in the build notices.
+
+This linter checks, for every Markdown link in ``README.md`` and
+``docs/*.md``:
+
+* **relative file targets** resolve to an existing file (links are
+  resolved against the linking file's own directory, the way GitHub and
+  most renderers do);
+* **anchor targets** (``#section`` or ``file.md#section``) match a
+  heading in the target file, using GitHub's slug rules (lowercase,
+  punctuation stripped, spaces to dashes, duplicate slugs numbered).
+
+External links (``http://``, ``https://``, ``mailto:``) are out of
+scope — availability of the internet is not a property of this repo.
+
+Run via ``make docs-check`` (and ``make lint-docs`` directly).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — non-greedy text, target up to the first ``)``.
+#: Images (``![alt](src)``) are checked too; they are links to files.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> list[pathlib.Path]:
+    files = [ROOT / "README.md"]
+    files.extend(sorted((ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def github_slug(title: str) -> str:
+    """GitHub's heading-to-anchor slug (the rules the web UI applies)."""
+    slug = title.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)            # inline markup markers
+    slug = re.sub(r"[^\w\- ]", "", slug)         # punctuation out
+    slug = slug.replace(" ", "-")
+    return slug
+
+
+def heading_slugs(path: pathlib.Path) -> set[str]:
+    """All anchor slugs a file defines (duplicates numbered like GitHub)."""
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING.match(line)
+        if not m:
+            continue
+        base = github_slug(m.group(2))
+        n = counts.get(base, 0)
+        counts[base] = n + 1
+        slugs.add(base if n == 0 else f"{base}-{n}")
+    return slugs
+
+
+def check_file(path: pathlib.Path, slug_cache: dict) -> list[str]:
+    problems: list[str] = []
+    rel = path.relative_to(ROOT)
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK.finditer(line):
+            target = m.group(1)
+            if target.startswith(EXTERNAL):
+                continue
+            file_part, _, anchor = target.partition("#")
+            if file_part:
+                dest = (path.parent / file_part).resolve()
+                if not dest.exists():
+                    problems.append(
+                        f"{rel}:{lineno}: dead link target {target!r} "
+                        f"({file_part} does not exist)"
+                    )
+                    continue
+            else:
+                dest = path
+            if anchor:
+                if dest.suffix != ".md" or dest.is_dir():
+                    continue  # anchors into non-Markdown files: not checkable
+                if dest not in slug_cache:
+                    slug_cache[dest] = heading_slugs(dest)
+                if anchor.lower() not in slug_cache[dest]:
+                    problems.append(
+                        f"{rel}:{lineno}: dead anchor {target!r} "
+                        f"(no heading slugs to '#{anchor}' in "
+                        f"{dest.relative_to(ROOT)})"
+                    )
+    return problems
+
+
+def main() -> int:
+    files = doc_files()
+    slug_cache: dict = {}
+    problems: list[str] = []
+    links = 0
+    for path in files:
+        problems.extend(check_file(path, slug_cache))
+        for line in path.read_text(encoding="utf-8").splitlines():
+            links += len(LINK.findall(line))
+    if problems:
+        print("dead documentation links:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(
+        f"lint-docs: ok ({links} links across {len(files)} Markdown files, "
+        "all targets and anchors resolve)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Fail the build if transport primitives leak outside the shard/service layers.
+
+The sharded execution path (``src/repro/shard/``) and the query service
+(``src/repro/service/``) are the only modules allowed to touch process
+and socket plumbing — ``subprocess``, ``socket``, ``socketserver``,
+``multiprocessing``, ``os.pipe`` — because that is where deadlines,
+structured retryable errors, and dead-worker detection live.  A query
+engine, planner, or algebra module that opens its own pipe or spawns its
+own process bypasses all of it: requests can hang without a deadline,
+die without a structured error, and leak child processes the pool never
+reaps.  The code still passes functional tests — exactly the regression
+a test suite cannot see.
+
+This linter scans ``src/repro/`` for transport-primitive imports and
+calls outside the two sanctioned packages and exits non-zero listing the
+offenders.
+
+Run via ``make lint-shard`` (wired into ``make test``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+
+#: Packages that own transport plumbing (relative to ``src/repro/``).
+SANCTIONED = ("shard", "service")
+
+#: Transport primitives: imports of the process/socket modules, plus the
+#: bare calls that create pipes or worker processes.
+FORBIDDEN = re.compile(
+    r"(?:^\s*(?:import|from)\s+(?:socket|socketserver|subprocess|"
+    r"multiprocessing)\b)"
+    r"|(?<![A-Za-z0-9_.])os\.pipe\s*\("
+    r"|(?<![A-Za-z0-9_.])Pipe\s*\("
+)
+
+
+def offenders() -> list[str]:
+    found: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(ROOT)
+        if path.relative_to(SRC).parts[0] in SANCTIONED:
+            continue
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if FORBIDDEN.search(line):
+                found.append(f"{rel}:{lineno}: {line.strip()}")
+    return found
+
+
+def main() -> int:
+    bad = offenders()
+    if bad:
+        print(
+            "transport primitives (sockets/pipes/subprocesses) outside "
+            "src/repro/shard/ and src/repro/service/ — route process and "
+            "wire plumbing through those layers:",
+            file=sys.stderr,
+        )
+        for line in bad:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(
+        "lint-shard: ok (transport plumbing confined to "
+        + " and ".join(f"src/repro/{p}/" for p in SANCTIONED)
+        + ")"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
