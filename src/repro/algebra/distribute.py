@@ -317,14 +317,29 @@ def analyze(
 
     relations = tuple(sorted(formula.relation_names()))
     if not relations:
-        # Database-free query: every shard computes the same answer, so
-        # scattering only duplicates work.  Route it to one worker.
+        if not formula.database_dependent():
+            # Truly database-free (no relations, all quantifiers
+            # NATURAL): every shard computes the same answer, so
+            # scattering only duplicates work.  Route it to one worker.
+            return Decomposition(
+                mode="route",
+                certificate="guarded-formula",
+                reason="database-free query: any single shard answers it",
+                shard=0,
+                relations=(),
+            )
+        # Relation-free but a restricted quantifier remains: ADOM,
+        # PREFIX, and LENGTH domains all derive from adom(D), and a
+        # partition's active domain is a strict subset of the whole
+        # database's — a single shard could answer differently.
         return Decomposition(
-            mode="route",
-            certificate="guarded-formula",
-            reason="database-free query: any single shard answers it",
-            shard=0,
-            relations=(),
+            mode="single",
+            certificate=None,
+            reason=(
+                "relation-free but database-dependent: restricted "
+                "quantifier domains draw on the whole database's "
+                "active domain, which no single partition holds"
+            ),
         )
 
     plan_relations: tuple[str, ...] = relations

@@ -62,6 +62,13 @@ __all__ = [
 #: millisecond-scale queries on the in-process backends.
 SHARD_ROUNDTRIP_COST = 50_000.0
 
+#: Slack the eligibility gate analyzes at.  ``eligible()`` has no slack
+#: argument, so it uses the planner's auto-selection default
+#: (``Planner._auto`` substitutes 0 when the caller passes none) — the
+#: slack an auto-selected plan will actually carry.  ``estimate_cost``
+#: and ``ShardCoordinator.execute`` analyze at the real plan slack.
+_DEFAULT_PLAN_SLACK = 0
+
 _ROUTER: dict[str, tuple["ShardCoordinator", "ShardedDatabase"]] = {}
 _ROUTER_LOCK = threading.Lock()
 
@@ -130,7 +137,9 @@ class ShardedBackend(EngineBackend):
         ok, reason = restricted_output_gate(formula, database)
         if not ok:
             return ok, reason
-        decomposition = self._decompose(formula, structure, route)
+        decomposition = self._decompose(
+            formula, structure, route, _DEFAULT_PLAN_SLACK
+        )
         if not decomposition.distributes:
             return False, f"plan does not distribute: {decomposition.reason}"
         return True, decomposition.reason
@@ -140,7 +149,7 @@ class ShardedBackend(EngineBackend):
         if route is None:
             return float("inf")
         _, sharded = route
-        decomposition = self._decompose(formula, structure, route)
+        decomposition = self._decompose(formula, structure, route, slack)
         if decomposition.mode == "scatter":
             # Parallel processes: wall-clock ≈ the slowest shard.
             per_part = max(
@@ -190,13 +199,13 @@ class ShardedBackend(EngineBackend):
         )
 
     @staticmethod
-    def _decompose(formula, structure, route) -> Decomposition:
+    def _decompose(formula, structure, route, slack) -> Decomposition:
         coordinator, sharded = route
         return analyze(
             formula,
             structure,
             sharded.database,
-            slack=1,
+            slack=slack,
             relation_shards=(
                 sharded.relation_shards
                 if coordinator.scheme == "relation"

@@ -125,9 +125,19 @@ class ShardCoordinator:
         """Partition ``database``, push each part to its worker, and make
         the content fingerprint routable (the planner's ``sharded``
         backend becomes eligible for any equal-content ``Database``)."""
-        from repro.shard.backend import router_register
+        from repro.shard.backend import router_register, router_unregister
 
         self._check_open()
+        if "@" in name:
+            # "@" is reserved for coordinator-internal worker-side names
+            # (the single-shard fallback registers the full database as
+            # "<name>@full" on worker 0); allowing it would let a user
+            # database collide with a fallback copy.
+            raise ShardError(
+                f"invalid database name {name!r}: '@' is reserved for "
+                "coordinator-internal names",
+                retryable=False,
+            )
         sharded = shard_database(name, database, self.shards, self.scheme)
         waiters = [
             self.pool.worker(i).submit(
@@ -144,9 +154,24 @@ class ShardCoordinator:
                     retryable=False, shard=i,
                 )
         with self._lock:
+            previous = self._databases.get(name)
             self._databases[name] = sharded
+            # The fallback copy (if any) described the previous content;
+            # the next single-mode query re-registers it lazily.
             self._full_registered.discard(name)
+            stale = (
+                previous is not None
+                and not any(
+                    s.fingerprint == previous.fingerprint
+                    for s in self._databases.values()
+                )
+            )
         router_register(sharded.fingerprint, self, sharded)
+        if stale:
+            # Replacing a name replaced its worker-side partitions too:
+            # withdraw the old content's route so a Database holding the
+            # previous content stops resolving to the new partitions.
+            router_unregister(previous.fingerprint)
         METRICS.inc("shard.databases_registered")
         return sharded
 
@@ -322,7 +347,11 @@ class ShardCoordinator:
         return self.request_timeout
 
     def _ensure_full_copy(self, sharded: ShardedDatabase) -> str:
-        """Register the whole database on worker 0 (idempotent, lazy)."""
+        """Register the whole database on worker 0 (idempotent, lazy).
+
+        ``register_database`` rejects ``@`` in user names, so the
+        ``<name>@full`` worker-side name can never collide with a
+        registered database's shard-0 partition."""
         full_name = f"{sharded.name}@full"
         with self._lock:
             have = sharded.name in self._full_registered

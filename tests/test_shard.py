@@ -151,6 +151,19 @@ class TestDistributivityAnalysis:
         d = self._analyze("R(x) & exists adom y: (y <<= x)")
         assert d.mode == "single"
 
+    def test_database_free_sentence_routes_to_one_worker(self):
+        # No relations, no restricted quantifiers: every shard computes
+        # the identical answer, so one worker suffices.
+        d = self._analyze("'01' <<= '010'")
+        assert d.mode == "route" and d.shard == 0
+
+    def test_relation_free_restricted_sentence_does_not_route(self):
+        # Relation-free but *not* database-free: the PREFIX domain
+        # derives from adom(D), and a partition's active domain is a
+        # strict subset — a lone shard could answer differently.
+        d = self._analyze("exists prefix y: last(y, '1')")
+        assert d.mode == "single" and not d.distributes
+
 
 # --------------------------------------------------------------- end-to-end
 
@@ -196,6 +209,55 @@ class TestScatterGather:
         assert "sharded" in plan.costs
         assert plan.costs["sharded"] != float("inf")
         assert "sharded" in backend_names()
+
+    def test_relation_free_restricted_sentence_uses_full_adom(self):
+        # Place every witness string (ending in '1') on shard 1 so that
+        # worker 0's partition has none: routing the sentence to a lone
+        # partition would answer False where the database answers True.
+        zeros = [s for s in ("0", "00", "000", "0000") if shard_of_row((s,), 2) == 0]
+        ones = [s for s in ("1", "01", "11", "011") if shard_of_row((s,), 2) == 1]
+        assert zeros and ones  # SHA-1 placement is deterministic
+        db = StringDatabase("01", {"R": set(zeros) | set(ones)})
+        query = "exists prefix y: last(y, '1')"
+        with ShardCoordinator(shards=2) as coord:
+            coord.register_database("witness", db)
+            sharded = Query(query).result(db, engine="sharded").as_set()
+        assert sharded == Query(query).result(db, engine="direct").as_set()
+
+    def test_reregistering_a_name_withdraws_the_old_route(self):
+        old = StringDatabase("01", {"R": {"0"}})
+        new = StringDatabase("01", {"R": {"1"}})
+        with ShardCoordinator(shards=2) as coord:
+            coord.register_database("swap", old)
+            assert route_for(old.db) is not None
+            coord.register_database("swap", new)
+            # The old content's route is gone: a Database still holding
+            # it falls back to the in-process engines (correct answers)
+            # instead of scattering against the replacement partitions.
+            assert route_for(old.db) is None
+            assert route_for(new.db) is not None
+            assert Query("R(x)").result(old).as_set() == {("0",)}
+            assert (
+                Query("R(x)").result(new, engine="sharded").as_set()
+                == {("1",)}
+            )
+
+    def test_reregistering_keeps_routes_shared_with_other_names(self):
+        shared = StringDatabase("01", {"R": {"0"}})
+        other = StringDatabase("01", {"R": {"1"}})
+        with ShardCoordinator(shards=2) as coord:
+            coord.register_database("a", shared)
+            coord.register_database("b", shared)  # same content, new name
+            coord.register_database("a", other)
+            # "b" still serves the shared content: its route survives.
+            assert route_for(shared.db) is not None
+
+    def test_at_sign_in_database_name_is_rejected(self):
+        # "@" is reserved for the coordinator's worker-side names — a
+        # user database "x@full" would collide with x's fallback copy.
+        with ShardCoordinator(shards=1) as coord:
+            with pytest.raises(ShardError):
+                coord.register_database("x@full", DB)
 
     def test_route_for_matches_content_not_identity(self, coordinator):
         # Routing is keyed on the database fingerprint (content), so an
