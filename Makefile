@@ -5,16 +5,17 @@ PY := PYTHONPATH=src python
 SMOKE_DIR := .bench-smoke
 
 .PHONY: test test-full docs-check lint-dispatch lint-kernel lint-shard \
-	lint-docs bench-smoke bench-algebra bench-algebra-smoke bench-kernel \
-	bench-kernel-smoke bench-shard bench-shard-smoke bench-compare \
-	bench-full bench-service serve-smoke clean
+	lint-delta lint-docs bench-smoke bench-algebra bench-algebra-smoke \
+	bench-kernel bench-kernel-smoke bench-shard bench-shard-smoke \
+	bench-delta bench-delta-smoke bench-compare bench-full bench-service \
+	serve-smoke clean
 
 ## Fast local loop: lints, skip @pytest.mark.slow tests, then smoke the
 ## perf claims cheapest to regress silently (algebra joins, the dense
-## automata kernel, and the shard scatter-gather pool, each gated
-## against its committed BENCH_*.json).
-test: lint-dispatch lint-kernel lint-shard bench-algebra-smoke \
-		bench-kernel-smoke bench-shard-smoke
+## automata kernel, the shard scatter-gather pool, and incremental
+## delta maintenance, each gated against its committed BENCH_*.json).
+test: lint-dispatch lint-kernel lint-shard lint-delta bench-algebra-smoke \
+		bench-kernel-smoke bench-shard-smoke bench-delta-smoke
 	$(PY) -m pytest -x -q -m "not slow"
 
 ## Fail if engine-name literal comparisons (== "automata"/"direct"/
@@ -33,6 +34,12 @@ lint-kernel:
 ## structured errors live there; nothing may tunnel around them.
 lint-shard:
 	$(PY) tools/lint_shard.py
+
+## Fail if code reaches into Database._relations/._adom outside the
+## database module and repro.delta — contents may only change through
+## the MVCC delta store (docs/mutability.md).
+lint-delta:
+	$(PY) tools/lint_delta.py
 
 ## Fail on dead relative links or heading anchors in README.md and
 ## docs/*.md (GitHub slug rules; see tools/lint_docs_links.py).
@@ -99,9 +106,22 @@ bench-shard-smoke:
 	mkdir -p $(SMOKE_DIR)
 	$(PY) benchmarks/bench_shard.py --smoke --compare --explain-json $(SMOKE_DIR)/shard.json
 
+## Incremental query-after-delta vs rebuild + re-register + cold re-run
+## (full sweep, asserts the >=5x small-delta speedup on both shapes,
+## checks automata survive deltas, gates against BENCH_delta.json).
+bench-delta:
+	mkdir -p $(SMOKE_DIR)
+	$(PY) benchmarks/bench_delta.py --compare --explain-json $(SMOKE_DIR)/delta.json
+
+## Minimal sizes of the same sweep, still gated against the baseline;
+## part of `make test`'s fast path.
+bench-delta-smoke:
+	mkdir -p $(SMOKE_DIR)
+	$(PY) benchmarks/bench_delta.py --smoke --compare --explain-json $(SMOKE_DIR)/delta.json
+
 ## Re-measure and gate without the full pytest run (alias kept for the
 ## name used in docs; exits non-zero on any >1.3x speedup regression).
-bench-compare: bench-kernel bench-shard
+bench-compare: bench-kernel bench-shard bench-delta
 
 bench-full:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -15,6 +15,12 @@ Usage::
     python -m repro serve --stdio --db main=db.json    # NDJSON query service
     python -m repro serve --shards 4 --db main=db.json # sharded service
 
+A running service accepts live data changes over the protocol — the
+``insert`` / ``delete`` verbs evolve a registered database through the
+MVCC delta store (O(|delta|) per change, caches maintained
+incrementally; see ``docs/mutability.md``), ``db_versions`` lists the
+retained snapshots, and ``unregister_db`` drops a name.
+
 ``run`` auto-selects the evaluation engine through the cost-based planner
 (:mod:`repro.engine`); pass ``--engine automata|direct|algebra`` to
 override.

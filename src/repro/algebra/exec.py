@@ -98,13 +98,25 @@ class AlgebraExecutor:
     The memo maps ``(subplan, database fingerprint)`` to its rows, so an
     executor reused across runs (the planner keeps one per query) only
     pays for each distinct subplan once per database state.
+
+    ``recorder``, when given, is called as ``recorder(node, rows)`` for
+    every operator the executor materializes — the delta-maintenance
+    layer (:mod:`repro.delta.maintenance`) uses it to snapshot subplan
+    rows on version-tracked databases so the *next* version's run can be
+    maintained incrementally instead of recomputed.
     """
 
-    def __init__(self, structure: StringStructure, database: Database):
+    def __init__(
+        self,
+        structure: StringStructure,
+        database: Database,
+        recorder=None,
+    ):
         self.structure = structure
         self.database = database
         self._db_key = database_fingerprint(database)
         self._memo: dict[tuple[Plan, str], Rows] = {}
+        self._recorder = recorder
 
     def run(self, plan: Plan) -> tuple[Rows, OpStats]:
         """Evaluate ``plan``; returns the rows and the operator stats tree."""
@@ -137,6 +149,8 @@ class AlgebraExecutor:
             rows, stats = self._generic(node)
 
         self._memo[memo_key] = rows
+        if self._recorder is not None:
+            self._recorder(node, rows)
         return rows, stats
 
     def _semi_join(self, node: Project) -> tuple[Rows, OpStats]:
@@ -319,16 +333,18 @@ def run_algebra(
     structure: StringStructure,
     database: Database,
     slack: int = 1,
+    recorder=None,
 ) -> tuple[tuple[str, ...], Rows, OpStats]:
     """Evaluate a collapsed-form query with the set-at-a-time executor.
 
     Returns ``(output columns, rows, operator stats)``.  Raises
     :class:`repro.algebra.compile.CompileError` when the query is not in
     collapsed form (the planner checks eligibility before calling this).
+    ``recorder`` is forwarded to :class:`AlgebraExecutor`.
     """
     compiled, optimized = compile_for_execution(
         formula, structure, database.schema, slack=slack
     )
-    executor = AlgebraExecutor(structure, database)
+    executor = AlgebraExecutor(structure, database, recorder=recorder)
     rows, stats = executor.run(optimized)
     return compiled.columns, rows, stats

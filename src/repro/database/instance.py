@@ -32,7 +32,7 @@ class Database:
     ['01', '0110']
     """
 
-    __slots__ = ("alphabet", "schema", "_relations", "_adom")
+    __slots__ = ("alphabet", "schema", "_relations", "_adom", "_fingerprint")
 
     def __init__(
         self,
@@ -41,6 +41,9 @@ class Database:
         schema: Schema | None = None,
     ):
         self.alphabet = alphabet
+        # Lazily filled by repro.engine.cache.database_fingerprint (or
+        # seeded with a chained version fingerprint by repro.delta).
+        self._fingerprint: str | None = None
         rels: dict[str, frozenset[tuple[str, ...]]] = {}
         arities: dict[str, int] = {}
         for name, tuples in relations.items():
@@ -138,6 +141,33 @@ class Database:
         rels: dict[str, Iterable[Sequence[str]]] = dict(self._relations)
         rels[name] = [tuple(t) for t in tuples]
         return Database(self.alphabet, rels)
+
+    @classmethod
+    def _evolved(
+        cls,
+        alphabet: Alphabet,
+        schema: Schema,
+        relations: dict[str, frozenset[tuple[str, ...]]],
+        adom: frozenset[str],
+        fingerprint: str | None = None,
+    ) -> "Database":
+        """Trusted constructor for the delta layer (:mod:`repro.delta`).
+
+        Skips per-tuple validation and the O(database) active-domain
+        recomputation — the caller passes pre-validated relation
+        frozensets (unchanged ones shared with the parent snapshot) and
+        an incrementally maintained ``adom``, which is what makes
+        snapshot evolution O(|delta|) instead of O(|database|).
+        ``fingerprint`` seeds the cache-key memo with the version-chain
+        fingerprint so no layer ever rehashes the full instance.
+        """
+        self = cls.__new__(cls)
+        self.alphabet = alphabet
+        self.schema = schema
+        self._relations = relations
+        self._adom = adom
+        self._fingerprint = fingerprint
+        return self
 
     # ---------------------------------------------------------------- width
 

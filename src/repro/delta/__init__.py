@@ -1,0 +1,49 @@
+"""Mutable databases: the MVCC delta store and incremental maintenance.
+
+Everything in PRs 1–6 keys off immutable content-fingerprinted
+snapshots; this package makes those snapshots *evolve* without going
+cold.  :mod:`repro.delta.store` turns a database into a chain of
+immutable versions under an ``insert``/``delete`` API (in-flight queries
+pin their snapshot, new requests see the head), and
+:mod:`repro.delta.maintenance` lets every cache layer answer for a new
+version from work done on an ancestor — cache promotion for untouched
+formulas and automata, classic ΔQ view-maintenance for algebra plans.
+
+See ``docs/mutability.md`` for the full model.
+"""
+
+from repro.delta.maintenance import (
+    Transition,
+    maintain_algebra_result,
+    promote_result,
+    record_transition,
+    subplan_recorder,
+    track_version,
+    transition_for,
+)
+from repro.delta.store import (
+    MAX_CHAIN,
+    DatabaseVersion,
+    Delta,
+    DeltaError,
+    VersionedDatabase,
+    chained_fingerprint,
+    evolve_database,
+)
+
+__all__ = [
+    "MAX_CHAIN",
+    "DatabaseVersion",
+    "Delta",
+    "DeltaError",
+    "Transition",
+    "VersionedDatabase",
+    "chained_fingerprint",
+    "evolve_database",
+    "maintain_algebra_result",
+    "promote_result",
+    "record_transition",
+    "subplan_recorder",
+    "track_version",
+    "transition_for",
+]

@@ -1,0 +1,427 @@
+"""The MVCC delta store: versioned databases evolved by insert/delete.
+
+A :class:`VersionedDatabase` wraps an immutable
+:class:`~repro.database.instance.Database` and turns it into a *chain of
+immutable snapshots*: each :meth:`~VersionedDatabase.insert` /
+:meth:`~VersionedDatabase.delete` produces a **new** ``Database`` (the
+old one is untouched — in-flight queries that already resolved a
+snapshot keep answering against it), built in O(|delta|):
+
+* untouched relation frozensets are **shared** with the parent snapshot;
+* the active domain is maintained from per-string occurrence refcounts
+  (kept by the store), so adom membership is re-checked only for the
+  strings the delta actually touched;
+* the new snapshot's cache fingerprint is **chained** —
+  ``sha1(parent_fingerprint + delta_digest)`` — and seeded into the
+  instance, so no cache layer ever rehashes the full contents.  Chained
+  fingerprints are injective on content (a fingerprint determines the
+  base content plus the exact delta sequence) but deliberately distinct
+  from the content digest a from-scratch registration would get: equal
+  content reached by different histories is a conservative cache miss,
+  never a wrong hit.
+
+Every applied delta is recorded as a :class:`~repro.delta.maintenance.
+Transition` in the process-wide registry, which is what lets the
+engines' caches survive the change (see :mod:`repro.delta.maintenance`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import Counter
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.database.instance import Database
+from repro.database.schema import Schema
+from repro.engine.cache import database_fingerprint
+from repro.engine.metrics import METRICS
+from repro.errors import ArityError, ReproError
+
+__all__ = ["DatabaseVersion", "Delta", "DeltaError", "VersionedDatabase"]
+
+Row = tuple[str, ...]
+
+#: How many transitions a maintenance chain may walk before giving up —
+#: bounds the work of promoting a cache entry across many small deltas.
+MAX_CHAIN = 16
+
+
+class DeltaError(ReproError):
+    """An insert/delete the versioned store cannot apply."""
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One *effective* change set between two adjacent versions.
+
+    ``inserts`` rows are guaranteed absent from the parent snapshot and
+    ``deletes`` rows guaranteed present (the store normalizes no-op rows
+    away), which is what makes the ΔQ maintenance rules exact:
+    ``child = parent - deletes + inserts`` relation by relation, with
+    the three sets pairwise disjoint per relation.
+    """
+
+    inserts: tuple[tuple[str, frozenset[Row]], ...]
+    deletes: tuple[tuple[str, frozenset[Row]], ...]
+
+    @property
+    def touched(self) -> frozenset[str]:
+        """Relations whose contents differ between parent and child."""
+        return frozenset(
+            name for name, _ in self.inserts
+        ) | frozenset(name for name, _ in self.deletes)
+
+    def inserted(self, relation: str) -> frozenset[Row]:
+        for name, rows in self.inserts:
+            if name == relation:
+                return rows
+        return frozenset()
+
+    def deleted(self, relation: str) -> frozenset[Row]:
+        for name, rows in self.deletes:
+            if name == relation:
+                return rows
+        return frozenset()
+
+    @property
+    def size(self) -> int:
+        return sum(len(rows) for _, rows in self.inserts) + sum(
+            len(rows) for _, rows in self.deletes
+        )
+
+    def digest(self) -> str:
+        """Canonical SHA-1 of the change set (rows sorted per relation)."""
+        h = hashlib.sha1()
+        for tag, changes in ((b"+", self.inserts), (b"-", self.deletes)):
+            for name, rows in sorted(changes):
+                h.update(tag)
+                h.update(name.encode())
+                for row in sorted(rows):
+                    h.update(b"\x01")
+                    h.update("\x02".join(row).encode())
+        return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class DatabaseVersion:
+    """One immutable snapshot in a version chain.
+
+    Holding a ``DatabaseVersion`` pins its snapshot: the ``database`` it
+    carries never changes, whatever deltas are applied to the store
+    afterwards — that is the MVCC read side.
+    """
+
+    version: int
+    fingerprint: str
+    database: Database
+    #: Bumps only when the schema or the active domain actually shifted —
+    #: the service re-plans prepared queries on epoch changes only.
+    plan_epoch: int
+    #: The effective delta from the parent version (``None`` for the base).
+    delta: Optional[Delta] = None
+    #: Did this delta change ``adom(D)``? (``False`` for the base.)
+    adom_changed: bool = False
+    #: Did this delta add a relation to the schema? (``False`` for the base.)
+    schema_changed: bool = False
+
+
+def chained_fingerprint(parent_fingerprint: str, delta_digest: str) -> str:
+    """The child version's fingerprint: hash-chained, O(|delta|) to derive."""
+    return hashlib.sha1(
+        f"{parent_fingerprint}:{delta_digest}".encode()
+    ).hexdigest()
+
+
+def _normalize_rows(
+    relation: str, rows: Iterable[Union[str, Sequence[str]]], alphabet
+) -> set[Row]:
+    normalized: set[Row] = set()
+    for row in rows:
+        if isinstance(row, str):
+            row = (row,)
+        row = tuple(row)
+        for s in row:
+            alphabet.check_string(s)
+        normalized.add(row)
+    if normalized:
+        lengths = {len(r) for r in normalized}
+        if len(lengths) != 1:
+            raise ArityError(
+                f"delta rows for {relation!r} have mixed arities {lengths}"
+            )
+    return normalized
+
+
+def evolve_database(
+    database: Database,
+    inserts: Mapping[str, frozenset[Row]],
+    deletes: Mapping[str, frozenset[Row]],
+    fingerprint: Optional[str] = None,
+) -> Database:
+    """Apply pre-normalized effective deltas to one snapshot, O(|delta|).
+
+    Shares every untouched relation frozenset with ``database``; the
+    active domain is recomputed from scratch only here when the caller
+    has no refcounts (the shard coordinator evolving a partition) — the
+    :class:`VersionedDatabase` path below maintains it incrementally.
+    """
+    relations = {name: database.relation(name) for name in database.relation_names}
+    schema = database.schema
+    new_names = {}
+    for name, rows in inserts.items():
+        if name not in relations:
+            if not rows:
+                continue
+            new_names[name] = len(next(iter(rows)))
+            relations[name] = frozenset()
+        relations[name] = relations[name] | rows
+    for name, rows in deletes.items():
+        if name not in relations:
+            raise DeltaError(f"cannot delete from unknown relation {name!r}")
+        relations[name] = relations[name] - rows
+    if new_names:
+        arities = {n: schema.arity(n) for n in schema.relation_names}
+        arities.update(new_names)
+        schema = Schema(arities)
+    adom: set[str] = set()
+    for rows in relations.values():
+        for row in rows:
+            adom.update(row)
+    return Database._evolved(
+        database.alphabet, schema, relations, frozenset(adom), fingerprint
+    )
+
+
+class VersionedDatabase:
+    """A mutable *view* over a chain of immutable database snapshots.
+
+    Thread-safe: deltas are applied under a lock; readers grab
+    :attr:`head` (one attribute read) and keep evaluating against that
+    pinned snapshot no matter what is applied concurrently.
+
+    Examples
+    --------
+    >>> from repro.strings import BINARY
+    >>> from repro.database.instance import Database
+    >>> vdb = VersionedDatabase(Database(BINARY, {"R": {("01",)}}))
+    >>> v1 = vdb.insert("R", [("11",)])
+    >>> sorted(vdb.head.database.relation("R"))
+    [('01',), ('11',)]
+    >>> vdb.version(0).database.relation("R")  # v0 snapshot is pinned
+    frozenset({('01',)})
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        keep_versions: int = 64,
+    ):
+        if keep_versions < 1:
+            raise DeltaError("keep_versions must be >= 1")
+        self._lock = threading.Lock()
+        self._keep = keep_versions
+        base = DatabaseVersion(
+            version=0,
+            fingerprint=database_fingerprint(database),
+            database=database,
+            plan_epoch=0,
+        )
+        self._versions: dict[int, DatabaseVersion] = {0: base}
+        self._head = base
+        #: The version-0 fingerprint — stable for the wrapper's lifetime
+        #: even after version 0 itself is pruned (plan-cache keying).
+        self.base_fingerprint = base.fingerprint
+        # Per-string occurrence refcounts across all relation tuples:
+        # O(|delta|) adom maintenance on every apply.
+        self._adom_counts: Counter[str] = Counter()
+        for name in database.relation_names:
+            for row in database.relation(name):
+                self._adom_counts.update(row)
+        from repro.delta.maintenance import track_version
+
+        track_version(base.fingerprint)
+
+    # ------------------------------------------------------------- reading
+
+    @property
+    def head(self) -> DatabaseVersion:
+        """The newest version (new requests resolve against this)."""
+        return self._head
+
+    def version(self, number: int) -> DatabaseVersion:
+        with self._lock:
+            v = self._versions.get(number)
+        if v is None:
+            have = sorted(self._versions)
+            raise DeltaError(
+                f"version {number} is unknown or pruned (retained: {have})"
+            )
+        return v
+
+    def versions(self) -> list[dict]:
+        """Wire-friendly summaries of the retained versions, oldest first."""
+        with self._lock:
+            retained = sorted(self._versions.values(), key=lambda v: v.version)
+        return [
+            {
+                "version": v.version,
+                "fingerprint": v.fingerprint,
+                "tuples": v.database.size,
+                "adom_size": len(v.database.adom),
+                "plan_epoch": v.plan_epoch,
+                "delta_size": v.delta.size if v.delta is not None else 0,
+            }
+            for v in retained
+        ]
+
+    # ------------------------------------------------------------- writing
+
+    def insert(
+        self, relation: str, rows: Iterable[Union[str, Sequence[str]]]
+    ) -> DatabaseVersion:
+        """Apply an insert delta; returns the new head version."""
+        return self.apply(inserts={relation: rows})
+
+    def delete(
+        self, relation: str, rows: Iterable[Union[str, Sequence[str]]]
+    ) -> DatabaseVersion:
+        """Apply a delete delta; returns the new head version."""
+        return self.apply(deletes={relation: rows})
+
+    def apply(
+        self,
+        inserts: Optional[Mapping[str, Iterable]] = None,
+        deletes: Optional[Mapping[str, Iterable]] = None,
+    ) -> DatabaseVersion:
+        """Apply one combined delta atomically; returns the new head.
+
+        Rows already present are not re-inserted and absent rows are not
+        re-deleted (the recorded :class:`Delta` is the *effective*
+        change); a delta that changes nothing returns the current head
+        without creating a version.  Inserting into an unknown relation
+        extends the schema (a ``plan_epoch`` bump); deleting from one is
+        an error.
+        """
+        from repro.delta import maintenance
+
+        with self._lock:
+            parent = self._head
+            db = parent.database
+            alphabet = db.alphabet
+            eff_ins: dict[str, frozenset[Row]] = {}
+            eff_del: dict[str, frozenset[Row]] = {}
+            new_relations: dict[str, int] = {}
+            for name, rows in (inserts or {}).items():
+                normalized = _normalize_rows(name, rows, alphabet)
+                if name in db.schema:
+                    arity = db.schema.arity(name)
+                    if normalized and len(next(iter(normalized))) != arity:
+                        raise ArityError(
+                            f"insert into {name!r}/{arity} with arity "
+                            f"{len(next(iter(normalized)))} rows"
+                        )
+                    effective = frozenset(normalized - db.relation(name))
+                elif normalized:
+                    new_relations[name] = len(next(iter(normalized)))
+                    effective = frozenset(normalized)
+                else:
+                    continue
+                if effective:
+                    eff_ins[name] = effective
+            for name, rows in (deletes or {}).items():
+                if name not in db.schema:
+                    raise DeltaError(
+                        f"cannot delete from unknown relation {name!r}"
+                    )
+                if name in eff_ins:
+                    raise DeltaError(
+                        f"relation {name!r} appears in both inserts and "
+                        "deletes of one delta; split into two deltas"
+                    )
+                normalized = _normalize_rows(name, rows, alphabet)
+                effective = frozenset(normalized & db.relation(name))
+                if effective:
+                    eff_del[name] = effective
+            if not eff_ins and not eff_del:
+                METRICS.inc("delta.noops")
+                return parent
+
+            delta = Delta(
+                inserts=tuple(sorted(eff_ins.items())),
+                deletes=tuple(sorted(eff_del.items())),
+            )
+            # Adom maintenance from refcounts: O(|delta|), not O(|db|).
+            added: set[str] = set()
+            removed: set[str] = set()
+            for rows in eff_ins.values():
+                for row in rows:
+                    for s in row:
+                        self._adom_counts[s] += 1
+                        if self._adom_counts[s] == 1:
+                            added.add(s)
+            for rows in eff_del.values():
+                for row in rows:
+                    for s in row:
+                        self._adom_counts[s] -= 1
+                        if self._adom_counts[s] == 0:
+                            del self._adom_counts[s]
+                            removed.add(s)
+            adom_changed = bool(added or removed)
+
+            relations = {
+                name: db.relation(name) for name in db.relation_names
+            }
+            for name, rows in eff_ins.items():
+                relations[name] = relations.get(name, frozenset()) | rows
+            for name, rows in eff_del.items():
+                relations[name] = relations[name] - rows
+            schema = db.schema
+            if new_relations:
+                arities = {n: schema.arity(n) for n in schema.relation_names}
+                arities.update(new_relations)
+                schema = Schema(arities)
+            adom = db.adom
+            if adom_changed:
+                adom = (adom | added) - removed
+            fingerprint = chained_fingerprint(parent.fingerprint, delta.digest())
+            child_db = Database._evolved(
+                alphabet, schema, relations, adom, fingerprint
+            )
+            child = DatabaseVersion(
+                version=parent.version + 1,
+                fingerprint=fingerprint,
+                database=child_db,
+                plan_epoch=parent.plan_epoch
+                + (1 if adom_changed or new_relations else 0),
+                delta=delta,
+                adom_changed=adom_changed,
+                schema_changed=bool(new_relations),
+            )
+            self._versions[child.version] = child
+            self._head = child
+            while len(self._versions) > self._keep:
+                # Prune oldest; pinned DatabaseVersion refs stay valid.
+                del self._versions[min(self._versions)]
+
+        maintenance.record_transition(
+            maintenance.Transition(
+                parent_fingerprint=parent.fingerprint,
+                child_fingerprint=child.fingerprint,
+                delta=delta,
+                parent_db=parent.database,
+                child_db=child.database,
+                adom_changed=adom_changed,
+                schema_changed=bool(new_relations),
+            )
+        )
+        METRICS.inc("delta.versions")
+        METRICS.inc(
+            "delta.rows_inserted", sum(len(r) for r in eff_ins.values())
+        )
+        METRICS.inc(
+            "delta.rows_deleted", sum(len(r) for r in eff_del.values())
+        )
+        return child

@@ -313,6 +313,7 @@ class DirectBackend(EngineBackend):
         )
 
     def execute(self, plan, database, cache, observer=None):
+        from repro.delta.maintenance import promote_result
         from repro.eval.direct import DirectEngine
         from repro.eval.result import QueryResult
 
@@ -325,6 +326,11 @@ class DirectBackend(EngineBackend):
             stage="direct-result",
         )
         cached = cache.get(key)
+        if cached is None:
+            # The database may be a delta-store version whose ancestors
+            # already answered this query; untouched relations + stable
+            # adom mean the old result is still exact.
+            cached = promote_result(cache, key, plan.formula)
         if cached is not None:
             return QueryResult(*cached)
         result = DirectEngine(
@@ -470,11 +476,26 @@ class AlgebraBackend(EngineBackend):
             if isinstance(observer, AlgebraTrace):
                 observer.cached = True
             return QueryResult(*cached)
-        columns, rows, stats = run_algebra(
-            plan.formula, plan.structure, database, slack=plan.slack
-        )
-        if isinstance(observer, AlgebraTrace):
-            observer.stats = stats
+        # Delta-store versions: maintain the previous version's recorded
+        # subplan rows through the ΔQ rules instead of recomputing; full
+        # runs on tracked versions record their subplans for next time.
+        from repro.delta import maintenance
+
+        maintained = maintenance.maintain_algebra_result(plan, database)
+        if maintained is not None:
+            columns, rows = maintained
+            if isinstance(observer, AlgebraTrace):
+                observer.cached = True
+        else:
+            columns, rows, stats = run_algebra(
+                plan.formula,
+                plan.structure,
+                database,
+                slack=plan.slack,
+                recorder=maintenance.subplan_recorder(plan.structure, database),
+            )
+            if isinstance(observer, AlgebraTrace):
+                observer.stats = stats
         relation = RelationAutomaton.from_tuples(
             plan.structure.alphabet, len(columns), rows
         )

@@ -93,6 +93,19 @@ class AutomatonCache:
             METRICS.inc("cache.hits")
             return value
 
+    def peek(self, key: Hashable) -> Optional[Any]:
+        """The cached value for ``key`` without counting a hit or miss.
+
+        Used by the delta-maintenance promotion path (:mod:`repro.delta`),
+        which probes *ancestor-version* keys after the real lookup already
+        counted its miss — promotion probes must not distort the
+        hit-rate the stats endpoints report."""
+        with self._lock:
+            value = self._data.get(key)
+            if value is not None:
+                self._data.move_to_end(key)
+            return value
+
     def put(self, key: Hashable, value: Any) -> None:
         """Store ``value`` under ``key``, evicting the LRU entry if full."""
         with self._lock:
@@ -159,12 +172,25 @@ class AutomatonCache:
 
 
 def database_fingerprint(database) -> str:
-    """A stable hex digest of a database instance.
+    """A stable hex digest of a database instance, memoized per instance.
 
     Canonical serialization: alphabet symbols, then each relation name with
     its sorted tuples.  Two databases share a fingerprint iff they are
-    extensionally equal (up to SHA-1 collisions).
+    extensionally equal (up to SHA-1 collisions) — except for snapshots
+    produced by :mod:`repro.delta`, whose slot is pre-seeded with the
+    **chained version fingerprint** (parent fingerprint + delta digest):
+    still injective on content, computed in O(|delta|), but deliberately
+    distinct from the content digest an independent registration of equal
+    content would get (a conservative cache miss, never a wrong hit).
+
+    Instances are immutable, so the digest is computed once and cached on
+    the instance (``Database._fingerprint``); every plan/cache lookup
+    after the first is O(1) instead of rehashing all tuples.
     """
+    cached = getattr(database, "_fingerprint", None)
+    if cached is not None:
+        METRICS.inc("cache.fingerprint_memo_hits")
+        return cached
     h = hashlib.sha1()
     h.update("|".join(database.alphabet.symbols).encode())
     for name in sorted(database.relation_names):
@@ -173,7 +199,12 @@ def database_fingerprint(database) -> str:
         for tup in sorted(database.relation(name)):
             h.update(b"\x01")
             h.update("\x02".join(tup).encode())
-    return h.hexdigest()
+    fingerprint = h.hexdigest()
+    try:
+        database._fingerprint = fingerprint
+    except AttributeError:  # duck-typed stand-ins without the memo slot
+        pass
+    return fingerprint
 
 
 def formula_key(

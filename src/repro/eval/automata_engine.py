@@ -137,6 +137,17 @@ class AutomataEngine:
         if self.cache is not None:
             key = self._subformula_key(f)
             hit = self.cache.get(key)
+            if hit is None and key[4] is not None:
+                # Delta-store versions: a subformula automaton compiled
+                # on an ancestor version stays valid when no delta in
+                # between touched its relations (or, for restricted
+                # quantifiers, the active domain) — the automata layer
+                # survives data changes; only changed relations recompile.
+                from repro.delta.maintenance import promote_result
+
+                hit = promote_result(
+                    self.cache, key, f, metric="delta.automata_promotions"
+                )
             if hit is not None:
                 if self.observer is not None:
                     self.observer.enter(f)

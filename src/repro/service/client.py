@@ -95,8 +95,26 @@ class ServiceClient:
             "db": {"alphabet": alphabet, "relations": relations},
         })
 
+    def unregister_db(self, name: str) -> dict:
+        return self.request({"op": "unregister_db", "name": name})
+
     def list_dbs(self) -> dict:
         return self.request({"op": "list_dbs"})
+
+    def insert(self, db: str, relation: str, rows: list) -> dict:
+        """Apply an insert delta; returns the new head version summary."""
+        return self.request({
+            "op": "insert", "db": db, "relation": relation, "rows": rows,
+        })
+
+    def delete(self, db: str, relation: str, rows: list) -> dict:
+        """Apply a delete delta; returns the new head version summary."""
+        return self.request({
+            "op": "delete", "db": db, "relation": relation, "rows": rows,
+        })
+
+    def db_versions(self, name: str) -> dict:
+        return self.request({"op": "db_versions", "name": name})
 
     def prepare(self, query: str, structure: str = "S") -> dict:
         return self.request({

@@ -20,8 +20,25 @@ Operations
     (``{"T": 2}``) pins relation arities — without it an *empty*
     relation defaults to arity 1, which matters for shard partitions
     where a relation can be empty on one worker but binary on another.
+``unregister_db``
+    ``{"op": "unregister_db", "name": "main"}`` → ``{"name": ...,
+    "removed": true|false}`` — drops the name from the registry (and,
+    under sharding, its partitions and routes).
 ``list_dbs``
     → ``{"databases": [...]}``.
+``insert`` / ``delete``
+    ``{"op": "insert", "db": "main", "relation": "R", "rows": [["01"],
+    ["0110"]]}`` → the new head version summary (``version``,
+    ``fingerprint``, ``tuples``, ``plan_epoch``).
+    Deltas are O(|delta|): the registered snapshot evolves through the
+    MVCC delta store (:mod:`repro.delta`), in-flight queries keep their
+    pinned snapshot, caches are maintained incrementally, and prepared
+    queries re-plan only when the schema or active domain shifted
+    (``plan_epoch``).  ``insert`` into an unknown relation extends the
+    schema; ``delete`` from one is an error.
+``db_versions``
+    ``{"op": "db_versions", "name": "main"}`` → ``{"versions": [...]}``
+    — retained version summaries, oldest first.
 ``prepare``
     ``{"op": "prepare", "query": "R(x)", "structure": "S"}`` → a handle id
     (``{"prepared": "p1", ...}``) usable in later ``run``/``batch`` items.
@@ -186,8 +203,49 @@ class Dispatcher:
         fingerprint = self.service.register_database(name, db)
         return {"name": name, "fingerprint": fingerprint}, False
 
+    def _op_unregister_db(self, obj: dict) -> tuple[dict, bool]:
+        name = _require_str(obj, "name")
+        removed = self.service.unregister_database(name)
+        return {"name": name, "removed": removed}, False
+
     def _op_list_dbs(self, obj: dict) -> tuple[dict, bool]:
         return {"databases": self.service.database_names()}, False
+
+    def _op_insert(self, obj: dict) -> tuple[dict, bool]:
+        return self._delta_op(obj, "insert")
+
+    def _op_delete(self, obj: dict) -> tuple[dict, bool]:
+        return self._delta_op(obj, "delete")
+
+    def _delta_op(self, obj: dict, op: str) -> tuple[dict, bool]:
+        name = _require_str(obj, "db")
+        relation = _require_str(obj, "relation")
+        rows_spec = obj.get("rows")
+        if not isinstance(rows_spec, list):
+            raise ProtocolError('"rows" must be a list of rows')
+        rows = [
+            (row,) if isinstance(row, str) else tuple(row) for row in rows_spec
+        ]
+        if op == "insert":
+            head = self.service.insert_rows(name, relation, rows)
+        else:
+            head = self.service.delete_rows(name, relation, rows)
+        # A delta that changed nothing returns the unchanged head — the
+        # client sees the same version number as before.
+        return {
+            "name": name,
+            "version": head.version,
+            "fingerprint": head.fingerprint,
+            "tuples": head.database.size,
+            "plan_epoch": head.plan_epoch,
+        }, False
+
+    def _op_db_versions(self, obj: dict) -> tuple[dict, bool]:
+        name = _require_str(obj, "name")
+        return {
+            "name": name,
+            "versions": self.service.database_versions(name),
+        }, False
 
     def _op_prepare(self, obj: dict) -> tuple[dict, bool]:
         query = _require_str(obj, "query")

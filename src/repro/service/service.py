@@ -62,6 +62,7 @@ from typing import Any, Optional, Union
 
 from repro.core.query import Query, StringDatabase
 from repro.database.instance import Database
+from repro.delta import DatabaseVersion, VersionedDatabase
 from repro.engine.backend import resolve_engine
 from repro.engine.cache import AutomatonCache, database_fingerprint, global_cache
 from repro.engine.deadline import Deadline, deadline_scope
@@ -234,11 +235,19 @@ class ServiceConfig:
 
 @dataclass(frozen=True)
 class _NamedDatabase:
-    """A registry entry: the instance plus its content fingerprint."""
+    """A registry entry: the instance plus its content fingerprint.
+
+    ``database``/``fingerprint`` always describe the entry's **head**
+    snapshot.  Once a delta is applied to the name, ``versioned`` holds
+    the delta store evolving it and ``plan_epoch`` mirrors the head's
+    epoch (bumped only on schema/adom shifts — the prepared-query plan
+    cache re-plans on epoch changes, not on every delta)."""
 
     name: str
     database: Database
     fingerprint: str
+    versioned: Optional[VersionedDatabase] = None
+    plan_epoch: int = 0
 
 
 class PreparedQuery:
@@ -294,20 +303,39 @@ class PreparedQuery:
         canonical fingerprint.  Two registered names with identical
         contents therefore share plans, as do alpha-equivalent spellings
         of the query.
+
+        Delta-evolved entries are keyed by **plan epoch** instead of
+        fingerprint: every version fingerprint is new, but the planner's
+        decision only depends on the schema and the active domain, which
+        is exactly what bumps the epoch — so row-only deltas reuse the
+        plan (counted in ``delta.replans_avoided``) and schema/adom
+        shifts re-plan.
         """
         force = resolve_engine(engine)
-        key = (entry.fingerprint, force, slack)
+        if entry.versioned is not None:
+            key = (
+                "epoch",
+                entry.versioned.base_fingerprint,
+                entry.plan_epoch,
+                force,
+                slack,
+            )
+        else:
+            key = (entry.fingerprint, force, slack)
         with self._lock:
-            plan = self._plans.get(key)
-        if plan is not None:
+            hit = self._plans.get(key)
+        if hit is not None:
+            plan, planned_fingerprint = hit
             METRICS.inc("service.plan_cache_hits")
+            if planned_fingerprint != entry.fingerprint:
+                METRICS.inc("delta.replans_avoided")
             return plan
         q = self.query_for(entry.database.alphabet)
         plan = Planner(q.structure, entry.database).plan(
             q.formula, slack=slack, force=force
         )
         with self._lock:
-            plan = self._plans.setdefault(key, plan)
+            plan, _ = self._plans.setdefault(key, (plan, entry.fingerprint))
         return plan
 
 
@@ -420,6 +448,9 @@ class QueryService:
         self._prepared: dict[tuple[str, str], PreparedQuery] = {}
         self._prepared_text: dict[tuple[str, str], PreparedQuery] = {}
         self._registry_lock = threading.Lock()
+        # Serializes delta application (insert/delete) across names so a
+        # wrap-then-apply never races a concurrent re-registration.
+        self._delta_lock = threading.Lock()
         self._queue: queue.Queue = queue.Queue(maxsize=config.max_pending)
         self._closed = False
         self._workers = [
@@ -450,9 +481,100 @@ class QueryService:
         METRICS.inc("service.databases_registered")
         return entry.fingerprint
 
-    def unregister_database(self, name: str) -> None:
+    def unregister_database(self, name: str) -> bool:
+        """Drop ``name`` from the registry (and the shard pool's
+        partitions/routes, when sharding); returns whether it existed.
+        Cached plans and results keyed by its fingerprints age out of
+        their LRU stores naturally."""
         with self._registry_lock:
-            self._databases.pop(name, None)
+            entry = self._databases.pop(name, None)
+        if entry is None:
+            return False
+        if self._coordinator is not None:
+            self._coordinator.unregister_database(name)
+        METRICS.inc("service.databases_unregistered")
+        return True
+
+    # --------------------------------------------------------------- deltas
+
+    def insert_rows(self, name: str, relation: str, rows) -> DatabaseVersion:
+        """Apply an insert delta to a registered database; returns the
+        new head version (see :mod:`repro.delta`)."""
+        return self.apply_delta(name, inserts={relation: rows})
+
+    def delete_rows(self, name: str, relation: str, rows) -> DatabaseVersion:
+        """Apply a delete delta to a registered database."""
+        return self.apply_delta(name, deletes={relation: rows})
+
+    def apply_delta(
+        self,
+        name: str,
+        inserts: Optional[dict] = None,
+        deletes: Optional[dict] = None,
+    ) -> DatabaseVersion:
+        """Evolve ``name`` by one delta: O(|delta|), caches stay warm.
+
+        The first delta lazily wraps the registered snapshot in a
+        :class:`~repro.delta.VersionedDatabase`; subsequent requests for
+        ``name`` resolve against the new head while in-flight requests
+        keep their pinned snapshot.  Under sharding, row deltas are
+        forwarded to the owning partitions only; a schema-extending
+        delta re-scatters (new relations need a placement decision).
+        """
+        with self._delta_lock:
+            entry = self._entry(name)
+            versioned = entry.versioned
+            if versioned is None:
+                versioned = VersionedDatabase(entry.database)
+            before = versioned.head
+            head = versioned.apply(inserts=inserts, deletes=deletes)
+            if head is before:
+                # Effective no-op: nothing to forward, nothing to swap.
+                if entry.versioned is None:
+                    with self._registry_lock:
+                        self._databases[name] = _NamedDatabase(
+                            name,
+                            head.database,
+                            head.fingerprint,
+                            versioned=versioned,
+                            plan_epoch=head.plan_epoch,
+                        )
+                return head
+            if self._coordinator is not None:
+                if head.schema_changed:
+                    # New relations need a placement decision: re-scatter.
+                    self._coordinator.register_database(name, head.database)
+                else:
+                    self._coordinator.apply_delta(
+                        name, head.delta, head.database
+                    )
+            with self._registry_lock:
+                self._databases[name] = _NamedDatabase(
+                    name,
+                    head.database,
+                    head.fingerprint,
+                    versioned=versioned,
+                    plan_epoch=head.plan_epoch,
+                )
+        METRICS.inc("service.deltas")
+        return head
+
+    def database_versions(self, name: str) -> list[dict]:
+        """Wire-friendly summaries of the retained versions of ``name``
+        (a single pseudo-version for never-mutated databases)."""
+        entry = self._entry(name)
+        if entry.versioned is not None:
+            return entry.versioned.versions()
+        return [
+            {
+                "version": 0,
+                "fingerprint": entry.fingerprint,
+                "tuples": entry.database.size,
+                "adom_size": len(entry.database.adom),
+                "plan_epoch": 0,
+                "delta_size": 0,
+            }
+        ]
 
     def database_names(self) -> list[str]:
         with self._registry_lock:
@@ -619,7 +741,21 @@ class QueryService:
         service_counters = {
             name: value
             for name, value in snapshot.items()
-            if name.startswith("service.")
+            if name.startswith(("service.", "delta."))
+        }
+        with self._registry_lock:
+            entries = list(self._databases.values())
+        versions = {
+            entry.name: {
+                "head": entry.versioned.head.version
+                if entry.versioned is not None
+                else 0,
+                "retained": len(entry.versioned.versions())
+                if entry.versioned is not None
+                else 1,
+                "plan_epoch": entry.plan_epoch,
+            }
+            for entry in entries
         }
         out = {
             "workers": self.config.workers,
@@ -628,6 +764,7 @@ class QueryService:
             "pending": self._queue.qsize(),
             "closed": self._closed,
             "databases": self.database_names(),
+            "versions": versions,
             "cache": self._cache.stats(),
             "counters": service_counters,
         }

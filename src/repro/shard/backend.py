@@ -237,6 +237,14 @@ class ShardedBackend(EngineBackend):
             stage="sharded-result",
         )
         cached = cache.get(key)
+        if cached is None:
+            # Delta-forwarded versions: results cached on an ancestor
+            # version stay exact while no forwarded delta touched the
+            # query's relations (restricted quantifiers also need a
+            # stable adom) — skip the whole scatter/gather round.
+            from repro.delta.maintenance import promote_result
+
+            cached = promote_result(cache, key, plan.formula)
         if cached is not None:
             if isinstance(observer, ShardTrace):
                 observer.cached = True

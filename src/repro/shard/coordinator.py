@@ -175,6 +175,152 @@ class ShardCoordinator:
         METRICS.inc("shard.databases_registered")
         return sharded
 
+    def unregister_database(self, name: str) -> bool:
+        """Drop ``name``: withdraw its route, forget its partitions, and
+        tell every worker to drop its part (and the worker-0 full copy).
+        Returns whether the name was registered."""
+        from repro.shard.backend import router_unregister
+
+        self._check_open()
+        with self._lock:
+            sharded = self._databases.pop(name, None)
+            if sharded is None:
+                return False
+            self._full_registered.discard(name)
+            keep_route = any(
+                s.fingerprint == sharded.fingerprint
+                for s in self._databases.values()
+            )
+        if not keep_route:
+            router_unregister(sharded.fingerprint)
+        waiters = [
+            self.pool.worker(i).submit({"op": "unregister_db", "name": name})
+            for i in range(self.shards)
+        ]
+        waiters.append(
+            self.pool.worker(0).submit(
+                {"op": "unregister_db", "name": f"{name}@full"}
+            )
+        )
+        for waiter in waiters:
+            # Best-effort: a dead worker's copy dies with its process.
+            try:
+                waiter.wait(START_UP_WAIT)
+            except ShardError:
+                pass
+        METRICS.inc("shard.databases_unregistered")
+        return True
+
+    def apply_delta(
+        self, name: str, delta, new_database: Database
+    ) -> ShardedDatabase:
+        """Forward one row delta to the **owning** shards — no re-scatter.
+
+        ``delta`` is an effective :class:`~repro.delta.Delta` and
+        ``new_database`` the already-evolved whole database (its seeded
+        chained fingerprint becomes the new route key).  Rows are split
+        with the same deterministic partitioners registration used, so
+        only shards that actually own changed rows see any traffic; each
+        one gets ``insert``/``delete`` protocol ops and evolves its
+        worker-side partition through its own delta store.  Deltas that
+        add relations must go through :meth:`register_database` instead
+        (new relations need a placement decision).
+
+        The old fingerprint's route is withdrawn, mirroring
+        re-registration semantics: in-flight sharded queries pinned to a
+        pre-delta snapshot fail with a structured routing error rather
+        than silently answering from post-delta partitions.
+        """
+        import dataclasses
+
+        from repro.delta.store import chained_fingerprint, evolve_database
+        from repro.engine.cache import database_fingerprint
+        from repro.shard.backend import router_register, router_unregister
+        from repro.shard.partition import shard_of_relation, shard_of_row
+
+        self._check_open()
+        with self._lock:
+            sharded = self._databases.get(name)
+        if sharded is None:
+            raise ShardError(
+                f"unknown sharded database {name!r}", retryable=False
+            )
+        shards = self.shards
+
+        def owner(relation: str, row: tuple[str, ...]) -> int:
+            if self.scheme == "hash":
+                return shard_of_row(row, shards)
+            if sharded.relation_shards is not None:
+                return sharded.relation_shards[relation]
+            return shard_of_relation(relation, shards)
+
+        per_ins: list[dict[str, set]] = [dict() for _ in range(shards)]
+        per_del: list[dict[str, set]] = [dict() for _ in range(shards)]
+        for split, changes in ((per_ins, delta.inserts), (per_del, delta.deletes)):
+            for relation, rows in changes:
+                for row in rows:
+                    split[owner(relation, row)].setdefault(relation, set()).add(row)
+
+        # Pipelined forward: every owning shard's ops are on the wire
+        # before the first acknowledgement is awaited.
+        waiters = []
+        for i in range(shards):
+            for op, split in (("insert", per_ins[i]), ("delete", per_del[i])):
+                for relation, rows in sorted(split.items()):
+                    body = {
+                        "op": op,
+                        "db": name,
+                        "relation": relation,
+                        "rows": sorted(list(row) for row in rows),
+                    }
+                    waiters.append((i, self.pool.worker(i).submit(body)))
+                    METRICS.inc("delta.shard_forwards")
+        for i, waiter in waiters:
+            response = waiter.wait(START_UP_WAIT)
+            if not response.get("ok"):
+                raise ShardError(
+                    f"shard {i} rejected delta for {name!r}: "
+                    f"{response.get('error', {}).get('message', response)}",
+                    retryable=False, shard=i,
+                )
+
+        # Evolve the coordinator-side parts to match (shared frozensets,
+        # chained part fingerprints: O(|delta|), no part rehashing).
+        parts = list(sharded.parts)
+        part_fps = list(sharded.part_fingerprints)
+        digest = delta.digest()
+        for i in range(shards):
+            if not per_ins[i] and not per_del[i]:
+                continue
+            part_fps[i] = chained_fingerprint(part_fps[i], digest)
+            parts[i] = evolve_database(
+                parts[i],
+                {r: frozenset(rows) for r, rows in per_ins[i].items()},
+                {r: frozenset(rows) for r, rows in per_del[i].items()},
+                fingerprint=part_fps[i],
+            )
+        new_fingerprint = database_fingerprint(new_database)
+        evolved = dataclasses.replace(
+            sharded,
+            database=new_database,
+            fingerprint=new_fingerprint,
+            parts=tuple(parts),
+            part_fingerprints=tuple(part_fps),
+        )
+        with self._lock:
+            self._databases[name] = evolved
+            # The worker-0 full copy (if any) predates the delta.
+            self._full_registered.discard(name)
+            stale = not any(
+                s.fingerprint == sharded.fingerprint
+                for s in self._databases.values()
+            )
+        router_register(evolved.fingerprint, self, evolved)
+        if stale:
+            router_unregister(sharded.fingerprint)
+        METRICS.inc("shard.deltas_forwarded")
+        return evolved
+
     @staticmethod
     def _register_body(name: str, part: Database) -> dict:
         schema = {

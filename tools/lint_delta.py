@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Fail the build if code mutates database contents behind the delta store.
+
+:class:`~repro.database.instance.Database` is immutable by contract —
+every cache key in the system (result cache, automaton cache, subplan
+row store, shard routes) assumes a database's fingerprint names frozen
+content forever.  The MVCC delta store (:mod:`repro.delta`) is the one
+sanctioned way to change contents: it builds a *new* ``Database`` with
+a chained fingerprint and records the transition that cache maintenance
+replays.  Code that reaches into the private ``._relations`` /
+``._adom`` mappings can mutate a snapshot in place, which silently
+poisons every cache keyed by its fingerprint — the answers stay wrong
+until the next cold start, and no functional test catches it because
+each test sees a consistent (if stale) view.
+
+This linter scans the tree for attribute access on those private fields
+anywhere outside the two modules allowed to touch them: the class's own
+module and the delta store package.  Run via ``make lint-delta`` (wired
+into ``make test``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Directories scanned for offenders.
+SCANNED = ["src", "benchmarks", "tools"]
+
+#: The only places allowed to touch the private mappings.
+ALLOWED = (
+    "src/repro/database/instance.py",
+    "src/repro/delta/",
+    "tools/lint_delta.py",
+)
+
+# Attribute access on the exact private fields: flags `db._relations` /
+# `db._adom` but not `self._adom_sorted` or a local `plan_relations`.
+PRIVATE_ACCESS = re.compile(r"\.\s*(_relations|_adom)\b(?!\w)")
+
+
+def offenders() -> list[str]:
+    found: list[str] = []
+    for top in SCANNED:
+        for path in sorted((ROOT / top).rglob("*.py")):
+            rel = path.relative_to(ROOT).as_posix()
+            if rel.startswith(ALLOWED):
+                continue
+            for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1
+            ):
+                if PRIVATE_ACCESS.search(line):
+                    found.append(f"{rel}:{lineno}: {line.strip()}")
+    return found
+
+
+def main() -> int:
+    bad = offenders()
+    if bad:
+        print(
+            "direct access to Database._relations/._adom outside the delta "
+            "store — mutate through repro.delta.VersionedDatabase instead:",
+            file=sys.stderr,
+        )
+        for line in bad:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("lint-delta: ok (database contents only change through repro.delta)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
