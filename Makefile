@@ -5,17 +5,20 @@ PY := PYTHONPATH=src python
 SMOKE_DIR := .bench-smoke
 
 .PHONY: test test-full docs-check lint-dispatch lint-kernel lint-shard \
-	lint-delta lint-docs bench-smoke bench-algebra bench-algebra-smoke \
-	bench-kernel bench-kernel-smoke bench-shard bench-shard-smoke \
-	bench-delta bench-delta-smoke bench-compare bench-full bench-service \
+	lint-delta lint-codegen lint-docs bench-smoke bench-algebra \
+	bench-algebra-smoke bench-kernel bench-kernel-smoke bench-shard \
+	bench-shard-smoke bench-delta bench-delta-smoke bench-codegen \
+	bench-codegen-smoke bench-compare bench-full bench-service \
 	serve-smoke clean
 
 ## Fast local loop: lints, skip @pytest.mark.slow tests, then smoke the
 ## perf claims cheapest to regress silently (algebra joins, the dense
-## automata kernel, the shard scatter-gather pool, and incremental
-## delta maintenance, each gated against its committed BENCH_*.json).
-test: lint-dispatch lint-kernel lint-shard lint-delta bench-algebra-smoke \
-		bench-kernel-smoke bench-shard-smoke bench-delta-smoke
+## automata kernel, the shard scatter-gather pool, incremental delta
+## maintenance, and the compiled-plan codegen backend, each gated
+## against its committed BENCH_*.json).
+test: lint-dispatch lint-kernel lint-shard lint-delta lint-codegen \
+		bench-algebra-smoke bench-kernel-smoke bench-shard-smoke \
+		bench-delta-smoke bench-codegen-smoke
 	$(PY) -m pytest -x -q -m "not slow"
 
 ## Fail if engine-name literal comparisons (== "automata"/"direct"/
@@ -40,6 +43,12 @@ lint-shard:
 ## the MVCC delta store (docs/mutability.md).
 lint-delta:
 	$(PY) tools/lint_delta.py
+
+## Fail if exec/eval/compile builtins appear in src/repro/ outside
+## algebra/codegen.py — dynamic code generation stays confined to the
+## one audited module (docs/codegen_engine.md).
+lint-codegen:
+	$(PY) tools/lint_codegen.py
 
 ## Fail on dead relative links or heading anchors in README.md and
 ## docs/*.md (GitHub slug rules; see tools/lint_docs_links.py).
@@ -119,9 +128,23 @@ bench-delta-smoke:
 	mkdir -p $(SMOKE_DIR)
 	$(PY) benchmarks/bench_delta.py --smoke --compare --explain-json $(SMOKE_DIR)/delta.json
 
+## Compiled fused pipelines vs the interpreted algebra executor (full
+## sweep, asserts the >=2x warm-closure speedup on both shapes, checks
+## the planner flips to codegen with a CodegenPipeline EXPLAIN node,
+## and gates every ratio against BENCH_codegen.json).
+bench-codegen:
+	mkdir -p $(SMOKE_DIR)
+	$(PY) benchmarks/bench_codegen.py --compare --explain-json $(SMOKE_DIR)/codegen.json
+
+## Minimal sizes of the same sweep, still gated against the baseline;
+## part of `make test`'s fast path.
+bench-codegen-smoke:
+	mkdir -p $(SMOKE_DIR)
+	$(PY) benchmarks/bench_codegen.py --smoke --compare --explain-json $(SMOKE_DIR)/codegen.json
+
 ## Re-measure and gate without the full pytest run (alias kept for the
 ## name used in docs; exits non-zero on any >1.3x speedup regression).
-bench-compare: bench-kernel bench-shard bench-delta
+bench-compare: bench-kernel bench-shard bench-delta bench-codegen
 
 bench-full:
 	$(PY) -m pytest benchmarks/ --benchmark-only

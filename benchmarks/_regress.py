@@ -107,6 +107,22 @@ def gate(name: str, entries: dict[str, dict]) -> int:
         print(f"REGRESSION against {os.path.basename(path)}:")
         for p in problems:
             print(f"  {p}")
+        # Full per-shape table, not just the aggregate verdict: CI logs
+        # must be enough to see *which* shapes drifted and by how much.
+        committed = baseline.get("entries", {})
+        print("per-shape observed vs committed speedups:")
+        for key, current in sorted(entries.items()):
+            ref = committed.get(key)
+            cur_speedup = float(current["speedup"])
+            if ref is None:
+                print(f"  {key}: {cur_speedup:.2f}x (no committed baseline)")
+                continue
+            base_speedup = float(ref["speedup"])
+            ratio = cur_speedup / base_speedup if base_speedup else float("inf")
+            print(
+                f"  {key}: {cur_speedup:.2f}x vs committed "
+                f"{base_speedup:.2f}x ({ratio:.2f} of baseline)"
+            )
         return 1
     checked = sum(1 for k in entries if k in baseline.get("entries", {}))
     print(

@@ -524,6 +524,181 @@ class AlgebraBackend(EngineBackend):
         return None
 
 
+class CodegenBackend(EngineBackend):
+    """Compiled-plan pipelines (:mod:`repro.algebra.codegen`): the
+    optimized algebra plan fused into one generated Python closure —
+    inlined predicates, hash tables built outside the probe loop, set ops
+    on projected streams — cached per canonical fingerprint + schema."""
+
+    name = "codegen"
+    priority = 5
+
+    def eligible(self, formula, structure, database):
+        from repro.algebra.codegen import shape_supported
+        from repro.engine.planner import algebra_eligible
+
+        ok, reason = restricted_output_gate(formula, database)
+        if not ok:
+            return ok, reason
+        if not algebra_eligible(formula):
+            return False, (
+                "not an ADOM-only collapsed query: codegen compiles "
+                "exactly the algebra engine's regime"
+            )
+        ok, why = shape_supported(formula, structure, database.schema)
+        if not ok:
+            return False, f"plan shape not fuseable: {why}"
+        return True, "ADOM-only collapsed query with a fuseable plan shape"
+
+    def estimate_cost(self, formula, structure, database, slack, planner):
+        from repro.algebra.codegen import has_pipeline
+        from repro.engine.planner import CODEGEN_ROW_FACTOR, estimate_algebra_cost
+
+        cost = estimate_algebra_cost(formula, structure, database, slack)
+        if cost == float("inf"):
+            return cost
+        # Fusion removes per-tuple interpreter dispatch, so row work is
+        # cheaper than the interpreted executor's; compilation itself is
+        # charged only while no closure is cached — the LRU amortizes it
+        # away for repeated and prepared queries.
+        scaled = cost * CODEGEN_ROW_FACTOR
+        if not has_pipeline(formula, structure, database.schema, slack):
+            scaled += planner.codegen_setup
+        return scaled
+
+    def prepare_forced(self, formula, structure, slack):
+        from repro.algebra.compile import CompileError, is_collapsed_form
+        from repro.eval.collapse import collapse
+        from repro.logic.transform import flatten_terms
+
+        collapsed = collapse(formula, structure, slack=1 if slack is None else slack)
+        if not is_collapsed_form(flatten_terms(collapsed.formula)):
+            raise CompileError(
+                "codegen engine needs a collapsed-form query: database "
+                "relations occur under non-ADOM quantifiers even after "
+                "collapsing"
+            )
+        return (
+            collapsed.formula,
+            collapsed.slack,
+            "engine forced by caller (formula collapsed)",
+        )
+
+    def chosen_reason(self, costs, planner):
+        return (
+            "fused compiled pipeline estimated cheapest "
+            f"(≈{_fmt_cost(costs[self.name])} row ops after fusion vs "
+            f"≈{_fmt_cost(costs.get('algebra', float('inf')))} interpreted)"
+        )
+
+    def execute(self, plan, database, cache, observer=None):
+        from repro.algebra.codegen import get_pipeline
+        from repro.algebra.exec import run_algebra
+        from repro.automatic.relation import RelationAutomaton
+        from repro.delta.maintenance import promote_result
+        from repro.engine.explain import CodegenTrace
+        from repro.engine.metrics import METRICS
+        from repro.eval.result import QueryResult
+
+        key = formula_key(
+            plan.formula,
+            plan.structure.name,
+            plan.structure.alphabet.symbols,
+            plan.slack,
+            database_fingerprint(database),
+            stage="codegen-result",
+        )
+        cached = cache.get(key)
+        if cached is None:
+            # Delta-store versions whose walked deltas touch none of the
+            # query's relations re-key the old result forward; anything
+            # else falls through to a full compiled run — closures are
+            # schema-keyed, so row-only deltas reuse the compiled code
+            # and only pay the data pass (never a stale answer).
+            cached = promote_result(cache, key, plan.formula)
+        if cached is not None:
+            if isinstance(observer, CodegenTrace):
+                observer.cached = True
+            return QueryResult(*cached)
+        pipeline, detail = get_pipeline(
+            plan.formula, plan.structure, database.schema, plan.slack
+        )
+        if pipeline is None:
+            # Structured fallback: unsupported plan shapes run on the
+            # interpreted algebra executor instead of failing.
+            METRICS.inc("codegen.fallbacks")
+            columns, rows, stats = run_algebra(
+                plan.formula, plan.structure, database, slack=plan.slack
+            )
+            if isinstance(observer, CodegenTrace):
+                observer.stats = stats
+                observer.fallback = detail
+        else:
+            METRICS.inc("codegen.runs")
+            rows, stage_rows = pipeline.run(database)
+            columns = pipeline.columns
+            if isinstance(observer, CodegenTrace):
+                observer.pipeline = pipeline
+                observer.stage_rows = stage_rows
+                observer.closure_hit = detail == "hit"
+        relation = RelationAutomaton.from_tuples(
+            plan.structure.alphabet, len(columns), rows
+        )
+        result = QueryResult(columns, relation)
+        cache.put(key, (result.variables, result.relation))
+        return result
+
+    def trace_observer(self):
+        from repro.engine.explain import CodegenTrace
+
+        return CodegenTrace()
+
+    def trace_tree(self, plan, observer, seconds):
+        from repro.engine.explain import (
+            ExplainNode,
+            op_stats_to_explain,
+            plan_tree_to_explain,
+        )
+
+        if getattr(observer, "cached", False):
+            root = plan_tree_to_explain(plan.root)
+            root.seconds = seconds
+            root.cache_hit = True
+            return root
+        stats = getattr(observer, "stats", None)
+        if stats is not None:
+            root = op_stats_to_explain(stats)
+            root.annotations["codegen_fallback"] = getattr(
+                observer, "fallback", "unknown"
+            )
+            return root
+        pipeline = getattr(observer, "pipeline", None)
+        if pipeline is None:
+            return None
+        stage_rows = getattr(observer, "stage_rows", None) or []
+        children = []
+        for i, stage in enumerate(pipeline.stages):
+            notes = {"rows": stage_rows[i] if i < len(stage_rows) else "?"}
+            if stage["numpy"]:
+                notes["numpy"] = True
+            children.append(
+                ExplainNode(stage["label"], stage["kind"], annotations=notes)
+            )
+        return ExplainNode(
+            f"codegen[{len(pipeline.stages)} fused stages, "
+            f"{pipeline.line_count} source lines]",
+            "CodegenPipeline",
+            seconds=seconds,
+            annotations={
+                "source_lines": pipeline.line_count,
+                "numpy_stages": pipeline.np_stages,
+                "closure": "warm" if observer.closure_hit else "compiled",
+            },
+            children=children,
+        )
+
+
 register_backend(DirectBackend())
 register_backend(AlgebraBackend())
+register_backend(CodegenBackend())
 register_backend(AutomataBackend())

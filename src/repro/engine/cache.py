@@ -65,9 +65,11 @@ class AutomatonCache:
     they must be immutable, since hits hand back the stored object.
     """
 
-    __slots__ = ("maxsize", "_data", "hits", "misses", "evictions", "_lock")
+    __slots__ = (
+        "maxsize", "_data", "hits", "misses", "evictions", "_lock", "_prefix"
+    )
 
-    def __init__(self, maxsize: int = DEFAULT_MAXSIZE):
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE, metrics_prefix: str = "cache"):
         if maxsize < 1:
             raise ValueError("cache maxsize must be >= 1")
         self.maxsize = maxsize
@@ -76,6 +78,10 @@ class AutomatonCache:
         self.misses = 0
         self.evictions = 0
         self._lock = threading.RLock()
+        #: METRICS namespace: the automaton cache reports ``cache.*``,
+        #: secondary caches (e.g. codegen closures) pick their own prefix
+        #: so the shared registry keeps the hit rates apart.
+        self._prefix = metrics_prefix
 
     # ------------------------------------------------------------ access
 
@@ -86,11 +92,11 @@ class AutomatonCache:
                 value = self._data[key]
             except KeyError:
                 self.misses += 1
-                METRICS.inc("cache.misses")
+                METRICS.inc(f"{self._prefix}.misses")
                 return None
             self._data.move_to_end(key)
             self.hits += 1
-            METRICS.inc("cache.hits")
+            METRICS.inc(f"{self._prefix}.hits")
             return value
 
     def peek(self, key: Hashable) -> Optional[Any]:
@@ -115,7 +121,7 @@ class AutomatonCache:
             if len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
                 self.evictions += 1
-                METRICS.inc("cache.evictions")
+                METRICS.inc(f"{self._prefix}.evictions")
 
     def get_or_build(self, key: Hashable, builder) -> Any:
         """Cached value for ``key``, calling ``builder()`` on a miss."""
@@ -162,7 +168,7 @@ class AutomatonCache:
             while len(self._data) > maxsize:
                 self._data.popitem(last=False)
                 self.evictions += 1
-                METRICS.inc("cache.evictions")
+                METRICS.inc(f"{self._prefix}.evictions")
 
     def __repr__(self) -> str:
         return f"AutomatonCache({self.stats()})"

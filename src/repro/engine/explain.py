@@ -139,6 +139,26 @@ class AlgebraTrace:
         self.cached = False
 
 
+class CodegenTrace:
+    """Captures what the codegen backend actually did for one query.
+
+    Exactly one of three shapes is filled: a fused pipeline ran
+    (``pipeline`` + per-stage ``stage_rows``, ``closure_hit`` telling a
+    warm closure from a fresh compile), the shape was not fuseable and the
+    interpreted algebra executor ran instead (``stats`` + the structured
+    ``fallback`` reason), or the whole result came from cache/promotion
+    (``cached``).
+    """
+
+    def __init__(self) -> None:
+        self.pipeline = None  # Optional[repro.algebra.codegen.GeneratedPipeline]
+        self.stage_rows = None  # Optional[list[int]]
+        self.closure_hit = False
+        self.stats = None  # Optional[repro.algebra.exec.OpStats] (fallback)
+        self.fallback = None  # Optional[str]: why codegen fell back
+        self.cached = False
+
+
 def plan_tree_to_explain(node) -> ExplainNode:
     """Convert a static :class:`~repro.engine.planner.PlanNode` tree."""
     return ExplainNode(

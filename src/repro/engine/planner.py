@@ -108,6 +108,20 @@ DIRECT_BIAS = 24.0
 #: before the algebra compiler would.
 ALGEBRA_SETUP_COST = 2_000.0
 
+#: Fixed cost (in direct-check units) charged to the codegen engine when no
+#: compiled closure is cached for the query yet: algebra compilation *plus*
+#: source emission, ``compile()``, and ``exec``.  Deliberately higher than
+#: :data:`ALGEBRA_SETUP_COST` so one-shot queries stay interpreted; the
+#: closure cache amortizes it away, so repeated and prepared queries see
+#: only the per-row cost and the argmin flips to codegen.
+CODEGEN_SETUP_COST = 6_000.0
+
+#: Per-row cost of a fused compiled pipeline relative to the interpreted
+#: algebra executor: operator fusion removes the per-tuple dispatch,
+#: checker re-entry and intermediate materialization that the interpreter
+#: pays at every operator boundary (measured >=2x in bench_codegen.py).
+CODEGEN_ROW_FACTOR = 0.5
+
 _INF = float("inf")
 
 
@@ -485,9 +499,9 @@ class Planner:
     ----------
     structure, database:
         The evaluation context (alphabets must match).
-    ceiling, bias, algebra_setup:
+    ceiling, bias, algebra_setup, codegen_setup:
         Overrides for :data:`DIRECT_COST_CEILING` / :data:`DIRECT_BIAS` /
-        :data:`ALGEBRA_SETUP_COST`.
+        :data:`ALGEBRA_SETUP_COST` / :data:`CODEGEN_SETUP_COST`.
     """
 
     def __init__(
@@ -497,6 +511,7 @@ class Planner:
         ceiling: float = DIRECT_COST_CEILING,
         bias: float = DIRECT_BIAS,
         algebra_setup: float = ALGEBRA_SETUP_COST,
+        codegen_setup: float = CODEGEN_SETUP_COST,
     ):
         if structure.alphabet != database.alphabet:
             raise EvaluationError("structure and database alphabets differ")
@@ -505,6 +520,7 @@ class Planner:
         self.ceiling = ceiling
         self.bias = bias
         self.algebra_setup = algebra_setup
+        self.codegen_setup = codegen_setup
 
     # ------------------------------------------------------------- planning
 

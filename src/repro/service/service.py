@@ -331,12 +331,34 @@ class PreparedQuery:
                 METRICS.inc("delta.replans_avoided")
             return plan
         q = self.query_for(entry.database.alphabet)
+        if force is None:
+            # Prepared queries are declared intent to run repeatedly, so
+            # compile the codegen closure *before* planning: the first
+            # auto plan then already sees a warm closure and the argmin
+            # can flip to the fused pipeline (CODEGEN_SETUP_COST is
+            # amortized, not charged to every run).  Best-effort — shapes
+            # outside the fuseable regime simply return False.
+            from repro.algebra.codegen import prewarm
+
+            prewarm(
+                q.formula,
+                q.structure,
+                entry.database.schema,
+                slack=0 if slack is None else slack,
+            )
         plan = Planner(q.structure, entry.database).plan(
             q.formula, slack=slack, force=force
         )
         with self._lock:
             plan, _ = self._plans.setdefault(key, (plan, entry.fingerprint))
         return plan
+
+
+def _codegen_closure_stats() -> dict:
+    """Counters of the compiled-closure LRU, for ``stats()`` endpoints."""
+    from repro.algebra.codegen import closure_cache
+
+    return closure_cache().stats()
 
 
 # ---------------------------------------------------------------- the pool
@@ -766,6 +788,7 @@ class QueryService:
             "databases": self.database_names(),
             "versions": versions,
             "cache": self._cache.stats(),
+            "codegen_cache": _codegen_closure_stats(),
             "counters": service_counters,
         }
         if self._coordinator is not None:

@@ -79,9 +79,9 @@ def toy():
 
 class TestRegistry:
     def test_builtins_are_registered(self):
-        assert backend_names() == ("algebra", "automata", "direct")
+        assert backend_names() == ("algebra", "automata", "codegen", "direct")
         assert [b.name for b in all_backends()] == [
-            "direct", "algebra", "automata",  # priority order
+            "direct", "codegen", "algebra", "automata",  # priority order
         ]
 
     def test_get_backend_unknown_lists_names(self):

@@ -166,9 +166,13 @@ def _anchor(formula: Formula) -> Formula:
 
 
 class TestThreeEngineAgreement:
-    """direct == automata == algebra on the algebra engine's regime."""
+    """direct == automata == algebra == codegen on the algebra regime.
 
-    ENGINES = ("automata", "direct", "algebra")
+    The codegen backend shares the algebra engine's eligibility rule and
+    must agree tuple-for-tuple whether a query runs through a generated
+    pipeline or takes the structured fallback to the interpreter."""
+
+    ENGINES = ("automata", "direct", "algebra", "codegen")
 
     @settings(max_examples=50, deadline=None)
     @given(formula=adom_formulas(VARS, depth=2), db=databases)
@@ -178,8 +182,8 @@ class TestThreeEngineAgreement:
         variables = {e: r.variables for e, r in results.items()}
         assert len(set(variables.values())) == 1, variables
         rows = {e: r.as_set() for e, r in results.items()}
-        assert rows["automata"] == rows["direct"] == rows["algebra"], (
-            str(query.formula)
+        assert len(set(map(frozenset, rows.values()))) == 1, (
+            str(query.formula), rows,
         )
 
     @settings(max_examples=30, deadline=None)
@@ -211,7 +215,7 @@ class TestKernelBackedAutomataRuns:
     checking the ``kernel.*`` METRICS actually move — evidence the dense
     path, not a silent dict-DFA fallback, produced the agreeing answers."""
 
-    ENGINES = ("automata", "direct", "algebra")
+    ENGINES = ("automata", "direct", "algebra", "codegen")
 
     @settings(max_examples=30, deadline=None)
     @given(formula=adom_formulas(VARS, depth=2), db=databases)
@@ -242,7 +246,7 @@ class TestCanonicalizationRoundTrip:
     must not change any engine's answer — that is what licenses keying
     every cache on the canonical fingerprint."""
 
-    ENGINES = ("automata", "direct", "algebra")
+    ENGINES = ("automata", "direct", "algebra", "codegen")
 
     @settings(max_examples=40, deadline=None)
     @given(formula=adom_formulas(VARS, depth=2), db=databases)

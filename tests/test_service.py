@@ -133,7 +133,9 @@ class TestExecution:
         assert resp.ok
         assert resp.columns == ["x"]
         assert resp.rows == [["0110"]]
-        assert resp.engine in ("automata", "direct")
+        # Prepared service queries prewarm the codegen closure, so the
+        # planner may pick the fused pipeline over direct/automata here.
+        assert resp.engine in ("automata", "direct", "codegen")
         assert resp.finite is True
         assert resp.exec_seconds >= 0
 

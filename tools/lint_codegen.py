@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Fail the build if dynamic code generation escapes the audited module.
+
+``src/repro/algebra/codegen.py`` compiles query plans to Python source and
+``exec``s it — deliberately, in one place, with data-independent generated
+code (database values are only ever passed as *arguments* to the compiled
+closure, never interpolated into source).  That safety argument only holds
+while codegen stays the single module that calls ``exec``/``eval``/
+``compile``; a second call site anywhere else in ``src/repro/`` would need
+the same audit and would not get it.
+
+This linter scans every Python file under ``src/repro/`` except the
+codegen module for calls to the three builtins and exits non-zero listing
+the offenders.  Method definitions and attribute calls named ``compile``
+(e.g. ``MSOCompiler.compile``, ``re.compile``) are fine — only the bare
+builtins are dangerous.
+
+Run via ``make lint-codegen`` (wired into ``make test``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: The one module allowed to generate and execute code.
+ALLOWED = "src/repro/algebra/codegen.py"
+
+# A bare `exec(` / `eval(` / `compile(` builtin call: no identifier or dot
+# before the name (so `re.compile(...)` and `self.compile(...)` pass) and
+# not a method definition (`def compile(` passes).
+DYNAMIC_CODE = re.compile(
+    r"(?<!def )(?<![A-Za-z0-9_.])(exec|eval|compile)\s*\("
+)
+
+
+def offenders() -> list[str]:
+    found: list[str] = []
+    src = ROOT / "src" / "repro"
+    for path in sorted(src.rglob("*.py")):
+        rel = path.relative_to(ROOT).as_posix()
+        if rel == ALLOWED:
+            continue
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            # Comments may *talk about* exec/eval/compile freely.
+            code = line.split("#", 1)[0]
+            if DYNAMIC_CODE.search(code):
+                found.append(f"{rel}:{lineno}: {line.strip()}")
+    return found
+
+
+def main() -> int:
+    bad = offenders()
+    if bad:
+        print(
+            "exec/eval/compile outside algebra/codegen.py — dynamic code "
+            "generation must stay confined to the one audited module:",
+            file=sys.stderr,
+        )
+        for line in bad:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"lint-codegen: ok (dynamic code generation confined to {ALLOWED})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
