@@ -5,20 +5,21 @@ PY := PYTHONPATH=src python
 SMOKE_DIR := .bench-smoke
 
 .PHONY: test test-full docs-check lint-dispatch lint-kernel lint-shard \
-	lint-delta lint-codegen lint-docs bench-smoke bench-algebra \
-	bench-algebra-smoke bench-kernel bench-kernel-smoke bench-shard \
-	bench-shard-smoke bench-delta bench-delta-smoke bench-codegen \
-	bench-codegen-smoke bench-compare bench-full bench-service \
-	serve-smoke clean
+	lint-delta lint-codegen lint-service lint-docs bench-smoke \
+	bench-algebra bench-algebra-smoke bench-kernel bench-kernel-smoke \
+	bench-shard bench-shard-smoke bench-delta bench-delta-smoke \
+	bench-codegen bench-codegen-smoke bench-compare bench-full \
+	bench-service bench-service-smoke serve-smoke clean
 
 ## Fast local loop: lints, skip @pytest.mark.slow tests, then smoke the
 ## perf claims cheapest to regress silently (algebra joins, the dense
 ## automata kernel, the shard scatter-gather pool, incremental delta
-## maintenance, and the compiled-plan codegen backend, each gated
-## against its committed BENCH_*.json).
+## maintenance, the compiled-plan codegen backend, and the asyncio
+## service front end, each gated against its committed BENCH_*.json).
 test: lint-dispatch lint-kernel lint-shard lint-delta lint-codegen \
-		bench-algebra-smoke bench-kernel-smoke bench-shard-smoke \
-		bench-delta-smoke bench-codegen-smoke
+		lint-service bench-algebra-smoke bench-kernel-smoke \
+		bench-shard-smoke bench-delta-smoke bench-codegen-smoke \
+		bench-service-smoke
 	$(PY) -m pytest -x -q -m "not slow"
 
 ## Fail if engine-name literal comparisons (== "automata"/"direct"/
@@ -49,6 +50,13 @@ lint-delta:
 ## one audited module (docs/codegen_engine.md).
 lint-codegen:
 	$(PY) tools/lint_codegen.py
+
+## Fail if asyncio transport primitives (stream factories, raw
+## StreamReader/StreamWriter construction, event-loop ownership) appear
+## in src/repro/ outside service/ + shard/ — byte limits, quotas, and
+## disconnect cancellation live in the front end (docs/service.md).
+lint-service:
+	$(PY) tools/lint_service.py
 
 ## Fail on dead relative links or heading anchors in README.md and
 ## docs/*.md (GitHub slug rules; see tools/lint_docs_links.py).
@@ -149,12 +157,19 @@ bench-compare: bench-kernel bench-shard bench-delta bench-codegen
 bench-full:
 	$(PY) -m pytest benchmarks/ --benchmark-only
 
-## Throughput/latency benchmark of the concurrent query service: an
-## 8-worker batched pool vs serial round-trips on one shared automaton
-## cache, asserting identical answers and a >1x speedup (docs/service.md).
+## Concurrent-client latency/throughput of the asyncio front end:
+## 1/64/512 closed-loop clients against one 8-worker pool, streamed and
+## plain answers asserted identical, per-level throughput ratios gated
+## against BENCH_service.json (docs/service.md).
 bench-service:
 	mkdir -p $(SMOKE_DIR)
-	$(PY) benchmarks/bench_service.py --explain-json $(SMOKE_DIR)/service.json
+	$(PY) benchmarks/bench_service.py --compare --explain-json $(SMOKE_DIR)/service.json
+
+## Levels 1 and 64 only, still gated against the baseline; part of
+## `make test`'s fast path.
+bench-service-smoke:
+	mkdir -p $(SMOKE_DIR)
+	$(PY) benchmarks/bench_service.py --smoke --compare --explain-json $(SMOKE_DIR)/service.json
 
 ## One NDJSON round-trip through `python -m repro serve --stdio`:
 ## register a database, run a query, check the rows, exit 0 on EOF.

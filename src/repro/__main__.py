@@ -155,6 +155,24 @@ def cmd_run(args: argparse.Namespace) -> int:
             limit=args.limit,
             timeout=args.timeout,
         )
+    if args.stream:
+        # Emit the answer in the protocol's streamed wire shape — the
+        # same row_batch/done NDJSON frames a TCP client sees, so shell
+        # pipelines can consume large answers incrementally.
+        from repro.service.protocol import stream_frames
+        from repro.service.service import ServiceResponse
+
+        response = ServiceResponse(
+            ok=True,
+            columns=list(table.columns),
+            rows=[list(row) for row in table],
+            engine=args.engine,
+            finite=args.limit is None,
+        )
+        for frame in stream_frames(None, response, args.page_size):
+            frame.pop("id", None)
+            print(json.dumps(frame))
+        return 0
     print("\t".join(table.columns))
     for row in table:
         print("\t".join(row))
@@ -212,6 +230,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         default_timeout=args.default_timeout,
         shards=args.shards,
         shard_scheme=args.shard_scheme,
+        warm_dir=args.warm_dir,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
     )
     service = QueryService(config)
     for spec in args.db or []:
@@ -293,6 +314,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="wall-clock budget; exceeded -> clean timeout error (exit 3)",
     )
+    p_run.add_argument(
+        "--stream", action="store_true",
+        help="emit NDJSON row_batch/done frames (the service's streamed "
+             "wire shape) instead of a TSV table",
+    )
+    p_run.add_argument(
+        "--page-size", type=int, default=256, dest="page_size",
+        metavar="N", help="rows per row_batch frame with --stream",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_explain = sub.add_parser(
@@ -364,6 +394,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--db", action="append", default=[],
                          metavar="NAME=FILE",
                          help="register a database at startup (repeatable)")
+    p_serve.add_argument("--warm-dir", default=None, dest="warm_dir",
+                         metavar="DIR",
+                         help="persist compiled automata here on shutdown "
+                              "and lazily warm-start from it on boot")
+    p_serve.add_argument("--quota-rate", type=float, default=None,
+                         dest="quota_rate", metavar="RPS",
+                         help="per-client token-bucket refill rate in "
+                              "requests/second (default: no quota)")
+    p_serve.add_argument("--quota-burst", type=float, default=8.0,
+                         dest="quota_burst", metavar="N",
+                         help="per-client token-bucket capacity")
     p_serve.set_defaults(func=cmd_serve)
 
     p_lang = sub.add_parser(

@@ -66,7 +66,8 @@ class AutomatonCache:
     """
 
     __slots__ = (
-        "maxsize", "_data", "hits", "misses", "evictions", "_lock", "_prefix"
+        "maxsize", "_data", "hits", "misses", "evictions", "_lock", "_prefix",
+        "_miss_loader", "warm_hits",
     )
 
     def __init__(self, maxsize: int = DEFAULT_MAXSIZE, metrics_prefix: str = "cache"):
@@ -82,22 +83,58 @@ class AutomatonCache:
         #: secondary caches (e.g. codegen closures) pick their own prefix
         #: so the shared registry keeps the hit rates apart.
         self._prefix = metrics_prefix
+        #: Optional second-chance loader consulted on a miss — the
+        #: warm-start persistence hook (:mod:`repro.engine.warmstart`).
+        #: Called outside the lock (disk IO must not serialize readers);
+        #: a concurrent duplicate load is wasted work, never a wrong
+        #: answer, exactly like a concurrent duplicate build.
+        self._miss_loader = None
+        self.warm_hits = 0
 
     # ------------------------------------------------------------ access
 
+    def attach_loader(self, loader) -> None:
+        """Install ``loader(key) -> value | None`` as the miss fallback.
+
+        The serialization hook behind warm-start persistence: a
+        :class:`~repro.engine.warmstart.WarmStartStore` attaches its
+        ``load`` here, so entries spilled by a previous process are pulled
+        off disk lazily — on first demand, not in a boot-time stampede.
+        Pass ``None`` to detach.
+        """
+        self._miss_loader = loader
+
     def get(self, key: Hashable) -> Optional[Any]:
-        """The cached value for ``key``, or ``None`` (counts hit/miss)."""
+        """The cached value for ``key``, or ``None`` (counts hit/miss).
+
+        A miss consults the attached warm-start loader (if any) before
+        giving up; a loader hit is inserted, counted under
+        ``<prefix>.warm_hits``, and *also* counted as the miss it was —
+        the in-memory hit rate stays honest while the warm counter shows
+        how much recompilation the spill avoided.
+        """
         with self._lock:
             try:
                 value = self._data[key]
             except KeyError:
                 self.misses += 1
                 METRICS.inc(f"{self._prefix}.misses")
-                return None
-            self._data.move_to_end(key)
-            self.hits += 1
-            METRICS.inc(f"{self._prefix}.hits")
-            return value
+                loader = self._miss_loader
+            else:
+                self._data.move_to_end(key)
+                self.hits += 1
+                METRICS.inc(f"{self._prefix}.hits")
+                return value
+        if loader is None:
+            return None
+        value = loader(key)
+        if value is None:
+            return None
+        with self._lock:
+            self.warm_hits += 1
+        METRICS.inc(f"{self._prefix}.warm_hits")
+        self.put(key, value)
+        return value
 
     def peek(self, key: Hashable) -> Optional[Any]:
         """The cached value for ``key`` without counting a hit or miss.
@@ -137,6 +174,16 @@ class AutomatonCache:
         with self._lock:
             return len(self._data)
 
+    def entries(self) -> list[tuple[Hashable, Any]]:
+        """A snapshot of (key, value) pairs, LRU-oldest first.
+
+        The spill side of the warm-start serialization hooks: values are
+        immutable by the cache's own contract, so handing them out for
+        serialization is safe without copying.
+        """
+        with self._lock:
+            return list(self._data.items())
+
     def stats(self) -> dict[str, int]:
         """Hit/miss/eviction counters plus current occupancy."""
         with self._lock:
@@ -144,6 +191,7 @@ class AutomatonCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "warm_hits": self.warm_hits,
                 "size": len(self._data),
                 "maxsize": self.maxsize,
             }
@@ -157,7 +205,7 @@ class AutomatonCache:
         """Drop entries *and* zero the counters."""
         with self._lock:
             self._data.clear()
-            self.hits = self.misses = self.evictions = 0
+            self.hits = self.misses = self.evictions = self.warm_hits = 0
 
     def resize(self, maxsize: int) -> None:
         """Change capacity, evicting LRU entries if shrinking."""

@@ -89,6 +89,17 @@ class Deadline:
     def expired(self) -> bool:
         return time.monotonic() >= self.expires_at
 
+    def cancel(self) -> None:
+        """Pull the expiry into the past: the next :meth:`check` raises.
+
+        Cooperative cancellation reuses the deadline machinery — every
+        engine hot loop already calls :func:`checkpoint`, so expiring the
+        deadline stops in-flight work at the next checkpoint without any
+        new hook.  The query service uses this to abandon work whose
+        streaming client disconnected.
+        """
+        self.expires_at = float("-inf")
+
     def check(self) -> None:
         """Raise :class:`EvaluationTimeout` if the deadline has passed."""
         now = time.monotonic()

@@ -102,6 +102,49 @@ class ServiceClosedError(ServiceError):
     """The service is draining or shut down and accepts no new requests."""
 
 
+class QuotaExceededError(ServiceError):
+    """A per-client token-bucket quota rejected the request.
+
+    Raised by the async front end (:mod:`repro.service.server`) when a
+    client has exhausted its request-rate budget under
+    ``backpressure="reject"``.  The request was never admitted, so it is
+    always safe to retry after backing off for roughly
+    ``retry_after`` seconds.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class RequestCancelledError(ServiceError):
+    """The request was cancelled before completion.
+
+    Raised on behalf of requests whose submitter went away — typically a
+    streaming client that disconnected mid-answer.  Queued work is
+    skipped entirely; in-flight work is cancelled cooperatively through
+    its deadline.  Retryable: the query itself was fine, only this
+    submission was abandoned.
+    """
+
+
+class ClientReadTimeoutError(ServiceError):
+    """A client-side read deadline expired waiting for a response.
+
+    Raised by :class:`repro.service.client.ServiceClient` (and its async
+    sibling) when the server accepted the connection but no response line
+    arrived within ``read_timeout`` seconds — a hung or wedged server no
+    longer blocks the caller forever.  The connection is left in an
+    unusable half-read state and is closed; open a fresh client and
+    resend (``retryable`` is ``True``: the request may or may not have
+    executed, and every protocol op is either read-only or idempotent
+    at-least-once from the client's point of view).
+    """
+
+    retryable = True
+    code = "client_timeout"
+
+
 class ShardError(ServiceError):
     """A sharded execution could not produce a complete answer.
 

@@ -1,23 +1,41 @@
 """repro.service — the concurrent query service on top of the engine core.
 
-The serving tier added in PR 2 (see ``docs/service.md``):
+The serving tier (see ``docs/service.md``):
 
 * :mod:`repro.service.service` — :class:`QueryService`: named-database
   registry, prepared queries, a bounded worker pool with admission
-  control, per-request cooperative deadlines, structured retryable
-  errors, graceful drain;
-* :mod:`repro.service.protocol` — the NDJSON request/response protocol;
-* :mod:`repro.service.server` — stdio and TCP transports
-  (``python -m repro serve``);
-* :mod:`repro.service.client` — a blocking TCP client for tests,
-  benchmarks, and scripts.
+  control, per-request cooperative deadlines and cancellation,
+  structured retryable errors, graceful drain, warm-start cache
+  persistence (``warm_dir=``);
+* :mod:`repro.service.protocol` — the NDJSON request/response protocol,
+  including the streamed ``row_batch``/``done`` frames;
+* :mod:`repro.service.server` — the stdio adapter and the asyncio TCP
+  front end (``python -m repro serve``): 10k+ multiplexed connections,
+  per-client token-bucket quotas, weighted fair queuing, cooperative
+  cancellation of disconnected clients;
+* :mod:`repro.service.quota` — the token-bucket and fair-queuing policy
+  pieces the server composes;
+* :mod:`repro.service.client` — a blocking TCP client (read deadlines,
+  streamed runs) plus its asyncio sibling.
 """
 
-from repro.service.client import ServiceClient
-from repro.service.protocol import PROTOCOL_VERSION, Dispatcher, ProtocolError
-from repro.service.server import TCPQueryServer, serve_stdio, serve_tcp
+from repro.service.client import AsyncServiceClient, ServiceClient
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    Dispatcher,
+    ProtocolError,
+    stream_frames,
+)
+from repro.service.quota import FairScheduler, TokenBucket
+from repro.service.server import (
+    AsyncTCPQueryServer,
+    TCPQueryServer,
+    serve_stdio,
+    serve_tcp,
+)
 from repro.service.service import (
     ErrorInfo,
+    PendingRequest,
     PreparedQuery,
     QueryService,
     RunRequest,
@@ -27,9 +45,13 @@ from repro.service.service import (
 )
 
 __all__ = [
+    "AsyncServiceClient",
+    "AsyncTCPQueryServer",
     "Dispatcher",
     "ErrorInfo",
+    "FairScheduler",
     "PROTOCOL_VERSION",
+    "PendingRequest",
     "PreparedQuery",
     "ProtocolError",
     "QueryService",
@@ -38,7 +60,9 @@ __all__ = [
     "ServiceConfig",
     "ServiceResponse",
     "TCPQueryServer",
+    "TokenBucket",
     "classify_error",
     "serve_stdio",
     "serve_tcp",
+    "stream_frames",
 ]

@@ -47,6 +47,26 @@ Operations
     "p1"`` instead of ``"query"``) plus optional ``structure``, ``engine``,
     ``slack``, ``limit``, and ``timeout_ms`` — the per-request deadline,
     counted from admission.  → columns/rows/engine/finite + timings.
+
+    With ``"stream": true`` the answer is **paginated** instead of one
+    giant line: the server emits zero or more ``row_batch`` frames
+    followed by exactly one terminal ``done`` frame, every frame echoing
+    the request ``id``::
+
+        {"id": 7, "frame": "row_batch", "seq": 0, "columns": ["x"],
+         "rows": [["001"], ["01"]]}
+        {"id": 7, "frame": "row_batch", "seq": 1, "rows": [["0110"]]}
+        {"id": 7, "frame": "done", "ok": true, "row_count": 3,
+         "batches": 2, "engine": "automata", "finite": true,
+         "queue_ms": 0.1, "exec_ms": 2.3}
+
+    ``page_size`` caps rows per frame (default: the service's
+    ``stream_page_size``); ``columns`` rides only on the first frame.
+    Failures skip straight to a ``done`` frame with ``"ok": false`` and
+    the structured error.  Frames for one request are contiguous — the
+    NDJSON stream never interleaves two answers — and a client that
+    disconnects mid-stream has its request cancelled cooperatively
+    server-side.  ``stream`` is not accepted inside ``batch`` items.
 ``batch``
     ``{"op": "batch", "requests": [<run bodies>]}`` — items fan out
     across the worker pool concurrently; the ``results`` list keeps
@@ -76,7 +96,12 @@ from repro.service.service import (
     classify_error,
 )
 
-__all__ = ["Dispatcher", "PROTOCOL_VERSION", "ProtocolError"]
+__all__ = [
+    "Dispatcher",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "stream_frames",
+]
 
 PROTOCOL_VERSION = 1
 
@@ -99,6 +124,55 @@ def _optional_number(obj: dict, key: str) -> Optional[float]:
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         raise ProtocolError(f'"{key}" must be a number')
     return float(value)
+
+
+def stream_frames(
+    request_id: Any, response: ServiceResponse, page_size: int
+) -> list[dict]:
+    """Slice one finished response into its streamed wire frames.
+
+    Shared by every transport (sync stdio, asyncio TCP): ``row_batch``
+    frames of at most ``page_size`` rows — at least one even for empty
+    answers, so clients always learn the columns — then the terminal
+    ``done`` frame carrying the summary (or, on failure, just the
+    ``done`` frame with the structured error).
+    """
+    timings = {
+        "queue_ms": round(response.queue_seconds * 1000, 3),
+        "exec_ms": round(response.exec_seconds * 1000, 3),
+    }
+    if not response.ok:
+        assert response.error is not None
+        return [{
+            "id": request_id,
+            "frame": "done",
+            "ok": False,
+            "error": response.error.to_dict(),
+            **timings,
+        }]
+    rows = response.rows or []
+    frames: list[dict] = []
+    for seq, start in enumerate(range(0, len(rows), page_size) or (0,)):
+        frame: dict[str, Any] = {
+            "id": request_id,
+            "frame": "row_batch",
+            "seq": seq,
+            "rows": rows[start:start + page_size],
+        }
+        if seq == 0:
+            frame["columns"] = response.columns
+        frames.append(frame)
+    frames.append({
+        "id": request_id,
+        "frame": "done",
+        "ok": True,
+        "row_count": len(rows),
+        "batches": len(frames),
+        "engine": response.engine,
+        "finite": response.finite,
+        **timings,
+    })
+    return frames
 
 
 class Dispatcher:
@@ -163,6 +237,60 @@ class Dispatcher:
         response.update(body)
         response.setdefault("ok", True)
         return response, shutdown
+
+    def handle_line_multi(self, line: str) -> tuple[list[str], bool]:
+        """Like :meth:`handle_line`, but a request may produce *several*
+        response lines: a streamed ``run`` yields its ``row_batch``
+        frames plus the ``done`` frame.  This is the entry point for
+        synchronous transports (the stdio adapter); the asyncio server
+        streams natively and only shares :func:`stream_frames`."""
+        stripped = line.strip()
+        if not stripped:
+            return [], False
+        try:
+            obj = json.loads(stripped)
+        except json.JSONDecodeError:
+            encoded, shutdown = self.handle_line(line)
+            return ([encoded] if encoded is not None else []), shutdown
+        if (
+            isinstance(obj, dict)
+            and obj.get("op") == "run"
+            and obj.get("stream")
+        ):
+            request_id = obj.get("id")
+            try:
+                page_size = self.stream_page_size(obj)
+                request = self._request_from(obj)
+            except Exception as exc:
+                return [json.dumps({
+                    "id": request_id,
+                    "ok": False,
+                    "error": classify_error(exc).to_dict(),
+                })], False
+            response = self.service.execute(request)
+            return [
+                json.dumps(frame)
+                for frame in stream_frames(request_id, response, page_size)
+            ], False
+        response, shutdown = self.handle(obj)
+        return [json.dumps(response)], shutdown
+
+    def stream_page_size(self, obj: dict) -> int:
+        """The validated ``page_size`` of a streamed run (service default
+        when absent); also validates the ``stream`` flag itself."""
+        stream = obj.get("stream")
+        if not isinstance(stream, bool):
+            raise ProtocolError('"stream" must be a boolean')
+        page_size = obj.get("page_size")
+        if page_size is None:
+            return self.service.config.stream_page_size
+        if (
+            isinstance(page_size, bool)
+            or not isinstance(page_size, int)
+            or page_size < 1
+        ):
+            raise ProtocolError('"page_size" must be a positive integer')
+        return page_size
 
     # ------------------------------------------------------------------ ops
 
@@ -260,6 +388,13 @@ class Dispatcher:
         }, False
 
     def _op_run(self, obj: dict) -> tuple[dict, bool]:
+        if obj.get("stream"):
+            # Streamed runs are routed by the transports (handle_line_multi
+            # / the asyncio server); reaching the single-response path
+            # means the transport cannot interleave frames.
+            raise ProtocolError(
+                "streamed run is not supported on this transport path"
+            )
         response = self.service.execute(self._request_from(obj))
         return response.to_dict(), False
 
@@ -274,6 +409,11 @@ class Dispatcher:
             try:
                 if not isinstance(item, dict):
                     raise ProtocolError("batch items must be objects")
+                if item.get("stream"):
+                    raise ProtocolError(
+                        '"stream" is not supported inside batch items; '
+                        "issue separate streamed run ops"
+                    )
                 parsed.append(self._request_from(item))
             except Exception as exc:
                 parsed.append(

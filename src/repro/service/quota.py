@@ -1,0 +1,295 @@
+"""Per-client quotas and weighted fair queuing for the async front end.
+
+The bounded queue in :class:`repro.service.service.QueryService` protects
+the *process* (reject or block when the pool is saturated), but it is
+first-come-first-served: one chatty client can fill the whole queue and
+starve everyone else.  The asyncio server layers two mechanisms on top,
+both implemented here because they are pure policy — no sockets, no
+service internals:
+
+* :class:`TokenBucket` — a per-client request-rate quota.  Each client
+  (one TCP connection) gets ``burst`` tokens refilled at ``rate`` tokens
+  per second; a query op that finds the bucket empty is either rejected
+  with a structured ``quota`` error carrying ``retry_after`` (under
+  ``backpressure="reject"``) or asynchronously delayed until a token
+  accrues (under ``"block"``) — mirroring the service's own admission
+  modes.  Cheap control ops (``ping``, ``stats``, ...) are never
+  charged.
+
+* :class:`FairScheduler` — weighted fair queuing between clients on the
+  way *into* the service queue.  Instead of racing ``submit()`` calls,
+  the per-connection handlers enqueue work items tagged with their
+  client id; a single pump task drains them in **virtual-time order**
+  (start-time fair queuing: an item's virtual finish time is
+  ``max(scheduler clock, client's last finish) + cost/weight``), so a
+  client that queued 100 requests and a client that queued 1 alternate
+  roughly by weight instead of 100:1.  The pump feeds the service with
+  ``backpressure="reject"`` semantics and retries with exponential
+  backoff while the bounded queue is full, converting the service's
+  thread-blocking ``"block"`` mode into event-loop-friendly awaits.
+
+Both classes are asyncio-native but loop-agnostic: the token bucket is
+also safe to call from threads (it locks), and the scheduler binds to
+whatever loop runs :meth:`FairScheduler.pump`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import threading
+import time
+from typing import Any, Callable, Optional
+
+from repro.errors import QueueFullError, QuotaExceededError, ServiceClosedError
+
+__all__ = ["TokenBucket", "FairScheduler", "DEFAULT_WEIGHT"]
+
+#: Weight assigned to requests that don't ask for one.
+DEFAULT_WEIGHT = 1.0
+
+#: Backoff bounds for the pump's full-queue retry loop (seconds).
+_BACKOFF_MIN = 0.001
+_BACKOFF_MAX = 0.02
+
+
+class TokenBucket:
+    """A thread-safe token bucket: ``burst`` capacity, ``rate``/s refill.
+
+    ``rate=None`` disables the quota (every acquire succeeds) so the
+    server can construct one unconditionally per client.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_stamp", "_lock")
+
+    def __init__(self, rate: Optional[float], burst: float = 1.0):
+        if rate is not None and rate <= 0:
+            raise ValueError("quota rate must be positive (or None to disable)")
+        if burst < 1:
+            raise ValueError("quota burst must be >= 1")
+        self.rate = rate
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._stamp = time.monotonic()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, cost: float = 1.0) -> float:
+        """Take ``cost`` tokens; ``0.0`` on success, else seconds until
+        enough tokens will have accrued (the ``retry_after`` hint)."""
+        if self.rate is None:
+            return 0.0
+        with self._lock:
+            now = time.monotonic()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return 0.0
+            return (cost - self._tokens) / self.rate
+
+    async def acquire(self, cost: float = 1.0) -> float:
+        """Block (asynchronously) until ``cost`` tokens are available.
+
+        Returns the total seconds slept — the admission delay, which the
+        server reports in ``queue_ms`` so throttling is visible to the
+        client."""
+        slept = 0.0
+        while True:
+            wait = self.try_acquire(cost)
+            if wait <= 0.0:
+                return slept
+            await asyncio.sleep(wait)
+            slept += wait
+
+    def tokens(self) -> float:
+        """Current token count (refilled to now); for stats/tests."""
+        if self.rate is None:
+            return self.burst
+        with self._lock:
+            now = time.monotonic()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            return self._tokens
+
+
+class _Item:
+    __slots__ = ("vfinish", "seq", "submit", "future", "expires_at")
+
+    def __init__(self, vfinish, seq, submit, future, expires_at):
+        self.vfinish = vfinish
+        self.seq = seq
+        self.submit = submit
+        self.future = future
+        self.expires_at = expires_at
+
+    def __lt__(self, other: "_Item") -> bool:
+        return (self.vfinish, self.seq) < (other.vfinish, other.seq)
+
+
+class FairScheduler:
+    """Start-time weighted fair queuing in front of ``service.submit``.
+
+    One instance per server; per-connection handlers call
+    :meth:`schedule` and await the returned future, which resolves to
+    whatever the submit thunk returned (a ``PendingRequest``) or raises
+    the admission error (:class:`QueueFullError` once the item's own
+    deadline ran out, :class:`ServiceClosedError` after :meth:`close`).
+
+    The virtual clock advances to the dispatched item's finish time, and
+    each client's next start time is ``max(clock, its last finish)`` —
+    the classic SFQ recipe: backlogged clients share capacity by weight,
+    idle clients don't accumulate credit.
+    """
+
+    def __init__(self, max_backlog: int = 1024):
+        if max_backlog < 1:
+            raise ValueError("scheduler backlog must be >= 1")
+        self.max_backlog = max_backlog
+        self._heap: list[_Item] = []
+        self._vclock = 0.0
+        self._client_vtime: dict[Any, float] = {}
+        self._seq = 0
+        self._wakeup: Optional[asyncio.Event] = None
+        self._closed = False
+        self.scheduled = 0
+        self.dispatched = 0
+        self.rejected_backlog = 0
+        self.expired = 0
+
+    # ------------------------------------------------------------- enqueue
+
+    def schedule(
+        self,
+        client: Any,
+        submit: Callable[[], Any],
+        *,
+        weight: float = DEFAULT_WEIGHT,
+        timeout: Optional[float] = None,
+    ) -> "asyncio.Future":
+        """Queue ``submit`` for fair dispatch on behalf of ``client``.
+
+        Must be called on the loop running :meth:`pump`.  ``timeout``
+        bounds how long the item may wait for a service-queue slot
+        before failing with :class:`QueueFullError` (``None`` = wait
+        forever); the request's own deadline still governs execution.
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        if self._closed:
+            future.set_exception(ServiceClosedError("service is shut down"))
+            return future
+        if len(self._heap) >= self.max_backlog:
+            self.rejected_backlog += 1
+            future.set_exception(QueueFullError(
+                f"scheduler backlog full ({self.max_backlog} waiting); retry"
+            ))
+            return future
+        weight = max(float(weight), 1e-6)
+        vstart = max(self._vclock, self._client_vtime.get(client, 0.0))
+        vfinish = vstart + 1.0 / weight
+        self._client_vtime[client] = vfinish
+        self._seq += 1
+        expires_at = None if timeout is None else time.monotonic() + timeout
+        heapq.heappush(
+            self._heap, _Item(vfinish, self._seq, submit, future, expires_at)
+        )
+        self.scheduled += 1
+        if self._wakeup is not None:
+            self._wakeup.set()
+        return future
+
+    def forget(self, client: Any) -> None:
+        """Drop the client's virtual-time state (connection closed)."""
+        self._client_vtime.pop(client, None)
+
+    # --------------------------------------------------------------- pump
+
+    async def pump(self, service) -> None:
+        """Drain items in virtual-time order into ``service.submit``.
+
+        Runs until :meth:`close`.  A full service queue backs off
+        (1→20 ms, exponential) and retries the *same* item — fair order
+        is preserved under overload — until the item's own admission
+        timeout expires.
+        """
+        self._wakeup = asyncio.Event()
+        while True:
+            while not self._heap:
+                if self._closed:
+                    return
+                self._wakeup.clear()
+                await self._wakeup.wait()
+            item = heapq.heappop(self._heap)
+            if item.future.cancelled():
+                continue
+            self._vclock = max(self._vclock, item.vfinish)
+            backoff = _BACKOFF_MIN
+            while True:
+                try:
+                    pending = item.submit()
+                except QueueFullError as exc:
+                    now = time.monotonic()
+                    if item.expires_at is not None and now >= item.expires_at:
+                        self.expired += 1
+                        if not item.future.cancelled():
+                            item.future.set_exception(QueueFullError(
+                                "service queue full for the whole admission "
+                                "timeout; retry with backoff"
+                            ))
+                        break
+                    del exc
+                    await asyncio.sleep(backoff)
+                    backoff = min(backoff * 2, _BACKOFF_MAX)
+                    if item.future.cancelled():
+                        break
+                    continue
+                except Exception as exc:  # closed service, bad request, ...
+                    if not item.future.cancelled():
+                        item.future.set_exception(exc)
+                    break
+                else:
+                    self.dispatched += 1
+                    if item.future.cancelled():
+                        # Submitter vanished between enqueue and dispatch:
+                        # abandon the request so it doesn't occupy a worker.
+                        cancel = getattr(pending, "cancel", None)
+                        if cancel is not None:
+                            cancel()
+                    else:
+                        item.future.set_result(pending)
+                    break
+
+    def close(self) -> None:
+        """Reject queued and future items; wakes the pump to exit."""
+        self._closed = True
+        while self._heap:
+            item = heapq.heappop(self._heap)
+            if not item.future.done():
+                item.future.set_exception(
+                    ServiceClosedError("service is shut down")
+                )
+        if self._wakeup is not None:
+            self._wakeup.set()
+
+    def stats(self) -> dict:
+        return {
+            "backlog": len(self._heap),
+            "max_backlog": self.max_backlog,
+            "scheduled": self.scheduled,
+            "dispatched": self.dispatched,
+            "rejected_backlog": self.rejected_backlog,
+            "expired": self.expired,
+            "clients_tracked": len(self._client_vtime),
+        }
+
+
+def quota_error(retry_after: float) -> QuotaExceededError:
+    """The structured error for an exhausted token bucket."""
+    return QuotaExceededError(
+        f"client request quota exhausted; retry in {retry_after:.3f}s",
+        retry_after=retry_after,
+    )

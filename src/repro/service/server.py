@@ -1,46 +1,111 @@
-"""Transports for the NDJSON protocol: a stdio loop and a TCP server.
+"""Transports for the NDJSON protocol: a stdio loop and an asyncio TCP server.
 
 ``python -m repro serve --stdio`` runs :func:`serve_stdio` — one request
-per stdin line, one response per stdout line, exit 0 on EOF or a
-``shutdown`` op.  That shape makes the service scriptable::
+per stdin line, one response line (or, for streamed runs, several frame
+lines) per request, exit 0 on EOF or a ``shutdown`` op.  That shape makes
+the service scriptable::
 
     echo '{"op": "ping"}' | python -m repro serve --stdio
 
-``python -m repro serve --port N`` runs a :class:`TCPQueryServer` — a
-``ThreadingTCPServer`` where each connection gets a reader thread but all
-query execution funnels through the *one* shared
-:class:`~repro.service.service.QueryService` pool, so worker count and
-queue bounds hold regardless of how many clients connect.
+``python -m repro serve --port N`` runs an :class:`AsyncTCPQueryServer`:
+a single-threaded **asyncio** front end that multiplexes every
+connection onto one event loop — a connection costs one coroutine and
+one socket, not one thread, so 10k concurrent clients are just 10k
+parked readers.  Query execution still funnels through the *one* shared
+:class:`~repro.service.service.QueryService` worker pool; the event loop
+never blocks on it:
+
+* ``run`` / ``batch`` are admitted through a per-client
+  :class:`~repro.service.quota.TokenBucket` quota and a
+  :class:`~repro.service.quota.FairScheduler` (weighted fair queuing
+  across connections), then submitted to the pool; completion is
+  bridged back by :meth:`~repro.service.service.PendingRequest.
+  add_done_callback` + ``call_soon_threadsafe`` — no thread per
+  in-flight request, no polling;
+* streamed runs (``"stream": true``) write ``row_batch`` frames followed
+  by a ``done`` frame (:func:`repro.service.protocol.stream_frames`);
+  while a request executes, the connection watches its socket, so a
+  client that disconnects mid-answer gets its request **cancelled
+  cooperatively** (queued work is skipped, running work aborts at the
+  engines' next deadline checkpoint) — a vanished client never leaks a
+  worker slot;
+* cheap control ops (``ping``) are answered inline on the loop; registry
+  ops (``register_db``, ``insert``, ...) run on a small bounded executor
+  so fingerprinting a large payload cannot stall unrelated connections;
+* ``shutdown`` acknowledges, stops accepting, gives busy connections a
+  grace period to finish their current request, cancels the rest, and
+  returns from :meth:`~AsyncTCPQueryServer.serve_forever`.
+
+The thread-facing surface is unchanged from the old ``ThreadingTCPServer``
+front end (``serve_tcp`` → ``server_address`` / ``serve_forever()`` /
+``shutdown()`` / ``close_service()``), so callers and tests drive both
+generations identically; ``TCPQueryServer`` remains as an alias.
 """
 
 from __future__ import annotations
 
-import socketserver
+import asyncio
+import contextlib
+import itertools
+import json
 import sys
 import threading
-from typing import Optional
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Optional
 
-from repro.service.protocol import Dispatcher
-from repro.service.service import QueryService
+from repro.engine.metrics import METRICS
+from repro.errors import QueueFullError, ServiceClosedError
+from repro.service.protocol import Dispatcher, ProtocolError, stream_frames
+from repro.service.quota import FairScheduler, TokenBucket, quota_error
+from repro.service.service import (
+    QueryService,
+    RunRequest,
+    ServiceResponse,
+    classify_error,
+)
 
-__all__ = ["TCPQueryServer", "serve_stdio", "serve_tcp"]
+__all__ = [
+    "AsyncTCPQueryServer",
+    "TCPQueryServer",
+    "serve_stdio",
+    "serve_tcp",
+]
+
+#: Per-line read limit (bytes).  The asyncio default of 64 KiB would
+#: reject a large ``register_db`` payload; database registrations are
+#: one JSON line, so give them real headroom.
+READ_LIMIT = 16 * 1024 * 1024
+
+#: Far-future deadline installed on async-path requests that asked for
+#: no timeout: never fires on its own, but gives cooperative
+#: cancellation a handle to pull into the past when the client vanishes
+#: (:meth:`repro.engine.deadline.Deadline.cancel`).
+_CANCEL_HORIZON = 1e9
+
+#: Seconds a graceful shutdown waits for busy connections to finish
+#: their current request before cancelling them.
+DRAIN_GRACE = 5.0
 
 
 def serve_stdio(service: QueryService, stdin=None, stdout=None) -> int:
     """Serve one NDJSON stream; returns 0 on EOF or ``shutdown``.
 
-    The service is closed (draining by default; a ``shutdown`` op may ask
-    otherwise) before returning, so a clean EOF leaves no worker threads
-    behind.
+    The synchronous adapter: one client, one stream, requests handled in
+    order — streamed runs emit their frames back-to-back, which needs no
+    multiplexing, so this path stays blocking on purpose (it is also
+    what the shard worker processes speak over pipes).  The service is
+    closed (draining by default; a ``shutdown`` op may ask otherwise)
+    before returning, so a clean EOF leaves no worker threads behind.
     """
     stdin = sys.stdin if stdin is None else stdin
     stdout = sys.stdout if stdout is None else stdout
     dispatcher = Dispatcher(service)
     try:
         for line in stdin:
-            out, shutdown = dispatcher.handle_line(line)
-            if out is not None:
+            outs, shutdown = dispatcher.handle_line_multi(line)
+            for out in outs:
                 stdout.write(out + "\n")
+            if outs:
                 stdout.flush()
             if shutdown:
                 break
@@ -49,25 +114,43 @@ def serve_stdio(service: QueryService, stdin=None, stdout=None) -> int:
     return 0
 
 
-class _ConnectionHandler(socketserver.StreamRequestHandler):
-    def handle(self) -> None:
-        dispatcher = self.server.dispatcher  # type: ignore[attr-defined]
-        for raw in self.rfile:
-            out, shutdown = dispatcher.handle_line(raw.decode("utf-8"))
-            if out is not None:
-                self.wfile.write((out + "\n").encode("utf-8"))
-                self.wfile.flush()
-            if shutdown:
-                self.server.begin_shutdown()  # type: ignore[attr-defined]
-                return
+class _LineSource:
+    """A readline frontend with pushback.
+
+    While a request executes, the connection keeps one watcher read
+    posted on the raw stream to notice EOF (client gone → cancel the
+    request).  A watcher that instead catches the *next* pipelined
+    request pushes it here, and the main loop drains pushback before
+    touching the socket again — order is preserved because at most one
+    watcher is ever outstanding.
+    """
+
+    __slots__ = ("reader", "_pushback")
+
+    def __init__(self, reader: asyncio.StreamReader):
+        self.reader = reader
+        self._pushback: list[bytes] = []
+
+    async def readline(self) -> bytes:
+        if self._pushback:
+            return self._pushback.pop(0)
+        return await self.reader.readline()
+
+    def push(self, line: bytes) -> None:
+        self._pushback.append(line)
 
 
-class TCPQueryServer(socketserver.ThreadingTCPServer):
-    """The NDJSON protocol over TCP; all connections share one dispatcher
-    (and therefore one worker pool, queue bound, and prepared registry)."""
+class AsyncTCPQueryServer:
+    """The NDJSON protocol over asyncio TCP (see module docstring).
 
-    allow_reuse_address = True
-    daemon_threads = True
+    All connections share one dispatcher (and therefore one worker pool,
+    queue bound, and prepared registry) and one fair scheduler; each
+    connection gets its own token bucket.  The constructor binds the
+    socket immediately (``server_address`` is final once it returns);
+    :meth:`serve_forever` runs the loop in the calling thread until
+    :meth:`shutdown` is called from any thread or a ``shutdown`` op
+    arrives.
+    """
 
     def __init__(
         self,
@@ -75,25 +158,495 @@ class TCPQueryServer(socketserver.ThreadingTCPServer):
         service: QueryService,
         allow_shutdown: bool = True,
     ):
-        super().__init__(address, _ConnectionHandler)
         self.service = service
         self.dispatcher = Dispatcher(service, allow_shutdown=allow_shutdown)
+        cfg = service.config
+        backlog = (
+            cfg.max_pending if cfg.backpressure == "reject"
+            else 4 * cfg.max_pending + 64
+        )
+        self._scheduler = FairScheduler(max_backlog=backlog)
+        self._loop = asyncio.new_event_loop()
+        self._closing = False
+        self._stopped = threading.Event()
+        self._started = False
+        self._connections: set[asyncio.Task] = set()
+        self._busy: set[asyncio.Task] = set()
+        self._client_ids = itertools.count(1)
+        # Registry/delta ops run here instead of on the loop: bounded, so
+        # a burst of registrations cannot grow threads without limit.
+        self._executor = ThreadPoolExecutor(
+            max_workers=4, thread_name_prefix="repro-serve-aux"
+        )
+        host, port = address
+
+        async def _bind():
+            self._shutdown_event = asyncio.Event()
+            return await asyncio.start_server(
+                self._handle_connection, host, port, limit=READ_LIMIT
+            )
+
+        self._server = self._loop.run_until_complete(_bind())
+        self.server_address = self._server.sockets[0].getsockname()
+
+    # ----------------------------------------------------------- lifecycle
+
+    def serve_forever(self) -> None:
+        """Run the event loop until a shutdown is requested."""
+        asyncio.set_event_loop(self._loop)
+        self._started = True
+        try:
+            self._loop.run_until_complete(self._serve())
+        finally:
+            self._stopped.set()
+
+    def shutdown(self) -> None:
+        """Stop the server from any thread; blocks until
+        :meth:`serve_forever` has returned."""
+        if self._loop.is_closed() or self._stopped.is_set():
+            return
+        self.begin_shutdown()
+        if self._started:
+            self._stopped.wait()
 
     def begin_shutdown(self) -> None:
-        # ``shutdown()`` blocks until serve_forever() exits, so it must run
-        # off the connection thread that received the request.
-        threading.Thread(target=self.shutdown, daemon=True).start()
+        """Request shutdown without blocking (threadsafe)."""
+        if self._loop.is_closed():
+            return
+        self._loop.call_soon_threadsafe(self._shutdown_event.set)
 
     def close_service(self) -> None:
-        """Drain (or not, per the shutdown request) and release the port."""
+        """Drain (or not, per the shutdown request) and release resources."""
+        self._executor.shutdown(wait=False)
         self.service.close(drain=self.dispatcher.shutdown_drain)
-        self.server_close()
+        if not self._loop.is_closed():
+            self._loop.close()
+
+    async def _serve(self) -> None:
+        pump = self._loop.create_task(self._scheduler.pump(self.service))
+        try:
+            await self._shutdown_event.wait()
+        finally:
+            self._closing = True
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+            # Graceful drain: busy connections finish their current
+            # request (their own deadlines still bound them), idle ones
+            # are cancelled outright.
+            deadline = self._loop.time() + DRAIN_GRACE
+            while self._busy and self._loop.time() < deadline:
+                await asyncio.sleep(0.01)
+            for task in list(self._connections):
+                task.cancel()
+            if self._connections:
+                await asyncio.gather(
+                    *self._connections, return_exceptions=True
+                )
+            self._scheduler.close()
+            pump.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await pump
+
+    # --------------------------------------------------------- connections
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._connections.add(task)
+        client_id = next(self._client_ids)
+        cfg = self.service.config
+        bucket = TokenBucket(cfg.quota_rate, cfg.quota_burst)
+        source = _LineSource(reader)
+        METRICS.inc("service.connections")
+        try:
+            while not self._closing:
+                try:
+                    line = await source.readline()
+                except (ConnectionError, OSError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                self._busy.add(task)
+                try:
+                    done = await self._process(
+                        line, writer, source, bucket, client_id
+                    )
+                finally:
+                    self._busy.discard(task)
+                if done:
+                    return
+        except asyncio.CancelledError:
+            pass
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self._scheduler.forget(client_id)
+            self._connections.discard(task)
+            self._busy.discard(task)
+            with contextlib.suppress(BaseException):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _process(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        source: _LineSource,
+        bucket: TokenBucket,
+        client_id: int,
+    ) -> bool:
+        """Handle one request line; returns True to close the connection."""
+        try:
+            obj = json.loads(line.decode("utf-8", "replace"))
+        except json.JSONDecodeError as exc:
+            error = classify_error(
+                ProtocolError(f"request is not valid JSON: {exc}")
+            )
+            await self._write(writer, {
+                "id": None, "ok": False, "error": error.to_dict(),
+            })
+            return False
+        op = obj.get("op") if isinstance(obj, dict) else None
+        if op == "ping":
+            # The liveness probe stays on the loop: a saturated pool or a
+            # busy executor must not make the server look dead.
+            response, _ = self.dispatcher.handle(obj)
+            await self._write(writer, response)
+            return False
+        if op in ("run", "batch"):
+            return await self._query_op(
+                obj, op, writer, source, bucket, client_id
+            )
+        if op == "shutdown":
+            response, shutdown = self.dispatcher.handle(obj)
+            await self._write(writer, response)
+            if shutdown:
+                self._shutdown_event.set()
+                return True
+            return False
+        # Registry / stats / prepare ops: off-loop, bounded executor.
+        response, _ = await self._loop.run_in_executor(
+            self._executor, self.dispatcher.handle, obj
+        )
+        await self._write(writer, response)
+        return False
+
+    # ----------------------------------------------------------- query ops
+
+    async def _query_op(
+        self,
+        obj: dict,
+        op: str,
+        writer: asyncio.StreamWriter,
+        source: _LineSource,
+        bucket: TokenBucket,
+        client_id: int,
+    ) -> bool:
+        request_id = obj.get("id")
+        streaming = bool(obj.get("stream")) and op == "run"
+
+        # ---- token-bucket quota (query ops only; control ops are free)
+        if op == "batch":
+            items = obj.get("requests")
+            cost = float(max(1, len(items))) if isinstance(items, list) else 1.0
+        else:
+            cost = 1.0
+        retry_after = bucket.try_acquire(cost)
+        if retry_after > 0.0:
+            if self.service.config.backpressure == "reject":
+                METRICS.inc("service.quota_rejections")
+                return await self._fail(
+                    writer, request_id, quota_error(retry_after),
+                    streaming=streaming,
+                    extra={"retry_after": round(retry_after, 3)},
+                )
+            METRICS.inc("service.quota_delays")
+            await bucket.acquire(cost)
+
+        if op == "batch":
+            return await self._batch(obj, writer, source, client_id)
+
+        # ---- single run (plain or streamed)
+        try:
+            page_size = (
+                self.dispatcher.stream_page_size(obj) if streaming else 0
+            )
+            request = self.dispatcher._request_from(obj)
+            weight = self._weight_from(obj)
+        except Exception as exc:
+            return await self._fail(
+                writer, request_id, exc, streaming=streaming
+            )
+        self._make_cancellable(request)
+        connected, pending, admission_error = await self._admit(
+            request, source, client_id, weight
+        )
+        if not connected:
+            return True
+        if admission_error is not None:
+            return await self._fail(
+                writer, request_id, admission_error, streaming=streaming
+            )
+        assert pending is not None
+        connected, response = await self._finish(pending, source, streaming)
+        if not connected:
+            return True
+        if streaming:
+            METRICS.inc("service.streams")
+            for frame in stream_frames(request_id, response, page_size):
+                if not await self._write(writer, frame, swallow=True):
+                    # Peer vanished between frames; execution already
+                    # finished, nothing to cancel.
+                    return True
+            return False
+        out = {"id": request_id}
+        out.update(response.to_dict())
+        await self._write(writer, out)
+        return False
+
+    async def _batch(
+        self,
+        obj: dict,
+        writer: asyncio.StreamWriter,
+        source: _LineSource,
+        client_id: int,
+    ) -> bool:
+        """Native-async batch: items fan out through the fair scheduler
+        and the pool concurrently; the results list keeps request order,
+        malformed or rejected items get structured errors in their slot."""
+        request_id = obj.get("id")
+        items = obj.get("requests")
+        if not isinstance(items, list):
+            return await self._fail(
+                writer, request_id,
+                ProtocolError('"requests" must be a list of run bodies'),
+            )
+        try:
+            weight = self._weight_from(obj)
+        except ProtocolError as exc:
+            return await self._fail(writer, request_id, exc)
+        METRICS.inc("service.batches")
+        parsed: list[Any] = []
+        for item in items:
+            try:
+                if not isinstance(item, dict):
+                    raise ProtocolError("batch items must be objects")
+                if item.get("stream"):
+                    raise ProtocolError(
+                        '"stream" is not supported inside batch items; '
+                        "issue separate streamed run ops"
+                    )
+                request = self.dispatcher._request_from(item)
+                self._make_cancellable(request)
+                parsed.append(request)
+            except Exception as exc:
+                parsed.append(
+                    {"ok": False, "error": classify_error(exc).to_dict()}
+                )
+        results: list[Optional[dict]] = []
+        pendings: list[tuple[int, Any]] = []
+        for index, entry in enumerate(parsed):
+            if not isinstance(entry, RunRequest):
+                results.append(entry)
+                continue
+            connected, pending, admission_error = await self._admit(
+                entry, source, client_id, weight
+            )
+            if not connected:
+                for _, p in pendings:
+                    p.cancel()
+                return True
+            if admission_error is not None:
+                results.append({
+                    "ok": False,
+                    "error": classify_error(admission_error).to_dict(),
+                })
+                continue
+            results.append(None)
+            pendings.append((index, pending))
+        for index, pending in pendings:
+            connected, response = await self._finish(pending, source, False)
+            if not connected:
+                for _, p in pendings:
+                    if not p.done():
+                        p.cancel()
+                return True
+            results[index] = response.to_dict()
+        await self._write(
+            writer, {"id": request_id, "ok": True, "results": results}
+        )
+        return False
+
+    # ------------------------------------------------------------- helpers
+
+    def _make_cancellable(self, request: RunRequest) -> None:
+        """Requests without a timeout still get a (far-future) deadline on
+        the async path, so disconnect cancellation always has something
+        to expire."""
+        if (
+            request.timeout is None
+            and self.service.config.default_timeout is None
+        ):
+            request.timeout = _CANCEL_HORIZON
+
+    def _weight_from(self, obj: dict) -> float:
+        weight = obj.get("weight")
+        if weight is None:
+            return 1.0
+        if (
+            isinstance(weight, bool)
+            or not isinstance(weight, (int, float))
+            or weight <= 0
+        ):
+            raise ProtocolError('"weight" must be a positive number')
+        return float(weight)
+
+    async def _admit(
+        self,
+        request: RunRequest,
+        source: _LineSource,
+        client_id: int,
+        weight: float,
+    ):
+        """Fair-queue ``request`` into the pool, watching for disconnect.
+
+        Returns ``(connected, pending, admission_error)``.
+        """
+        admission_timeout = (
+            0.0 if self.service.config.backpressure == "reject"
+            else request.timeout
+        )
+        fut = self._scheduler.schedule(
+            client_id,
+            lambda: self.service.submit(request),
+            weight=weight,
+            timeout=admission_timeout,
+        )
+        connected = await self._watch(fut, source, fut.cancel)
+        if not connected:
+            return False, None, None
+        try:
+            return True, fut.result(), None
+        except (QueueFullError, ServiceClosedError, Exception) as exc:
+            return True, None, exc
+
+    async def _finish(self, pending, source: _LineSource, streaming: bool):
+        """Await a submitted request's completion, watching for disconnect.
+
+        Returns ``(connected, response)``; on disconnect the request is
+        cancelled cooperatively and ``response`` is ``None``.
+        """
+        fut: asyncio.Future = self._loop.create_future()
+
+        def _resolve() -> None:
+            if not fut.done():
+                fut.set_result(None)
+
+        pending.add_done_callback(
+            lambda: self._loop.call_soon_threadsafe(_resolve)
+        )
+
+        def _abandon() -> None:
+            pending.cancel()
+            METRICS.inc("service.disconnects_inflight")
+            if streaming:
+                METRICS.inc("service.streams_cancelled")
+
+        connected = await self._watch(fut, source, _abandon)
+        if not connected:
+            return False, None
+        return True, pending.wait(0)
+
+    async def _watch(
+        self, fut: "asyncio.Future", source: _LineSource, on_disconnect
+    ) -> bool:
+        """Await ``fut`` while watching the connection for EOF.
+
+        At most one raw read is posted at a time; a read that catches the
+        next pipelined request is pushed back for the main loop.  EOF (or
+        a reset) calls ``on_disconnect()`` and returns ``False`` without
+        waiting for ``fut`` — the abandoned work cleans itself up.
+        """
+        watch: Optional[asyncio.Task] = None
+        try:
+            while not fut.done():
+                if watch is None:
+                    watch = self._loop.create_task(source.reader.readline())
+                await asyncio.wait(
+                    {fut, watch}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if watch.done():
+                    try:
+                        data = watch.result()
+                    except (ConnectionError, OSError):
+                        data = b""
+                    watch = None
+                    if not data:
+                        on_disconnect()
+                        return False
+                    source.push(data)
+            return True
+        finally:
+            if watch is not None and not watch.done():
+                watch.cancel()
+                with contextlib.suppress(BaseException):
+                    await watch
+
+    async def _fail(
+        self,
+        writer: asyncio.StreamWriter,
+        request_id: Any,
+        exc: Exception,
+        streaming: bool = False,
+        extra: Optional[dict] = None,
+    ) -> bool:
+        """Write the structured-error shape for a failed request (the
+        ``done`` frame when the client asked to stream)."""
+        error = classify_error(exc)
+        if streaming:
+            response = ServiceResponse(ok=False, error=error)
+            frame = stream_frames(request_id, response, 1)[0]
+            if extra:
+                frame.update(extra)
+            await self._write(writer, frame, swallow=True)
+            return False
+        out: dict[str, Any] = {
+            "id": request_id, "ok": False, "error": error.to_dict(),
+        }
+        if extra:
+            out.update(extra)
+        await self._write(writer, out)
+        return False
+
+    async def _write(
+        self, writer: asyncio.StreamWriter, obj: dict, swallow: bool = False
+    ) -> bool:
+        data = (json.dumps(obj) + "\n").encode("utf-8")
+        try:
+            writer.write(data)
+            await writer.drain()
+            return True
+        except (ConnectionError, OSError):
+            if swallow:
+                return False
+            raise
+
+
+#: The historical name: the thread-per-connection ``ThreadingTCPServer``
+#: this class replaced; callers constructing by name keep working.
+TCPQueryServer = AsyncTCPQueryServer
 
 
 def serve_tcp(
     service: QueryService, host: str = "127.0.0.1", port: int = 0
-) -> TCPQueryServer:
-    """Bind a :class:`TCPQueryServer` (``port=0`` picks an ephemeral one).
+) -> AsyncTCPQueryServer:
+    """Bind an :class:`AsyncTCPQueryServer` (``port=0`` picks an ephemeral
+    one).
 
     The caller owns the loop::
 
@@ -102,4 +655,4 @@ def serve_tcp(
         server.serve_forever()      # returns after a shutdown op
         server.close_service()
     """
-    return TCPQueryServer((host, port), service)
+    return AsyncTCPQueryServer((host, port), service)

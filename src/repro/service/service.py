@@ -31,6 +31,16 @@ into a serving tier on top of the PR 1 engine core:
 * **graceful shutdown** — :meth:`QueryService.close` stops admission and
   either drains the queue or cancels pending requests with a retryable
   *unavailable* error;
+* **cooperative cancellation** — :meth:`PendingRequest.cancel` abandons
+  a request whose submitter went away (a disconnected streaming client):
+  queued work is skipped, in-flight work is aborted at the engines' next
+  deadline checkpoint, and the worker slot is always reclaimed;
+* **warm-start persistence** — ``warm_dir=`` spills the automaton cache
+  (compiled :class:`~repro.automata.relation.RelationAutomaton` values
+  including their memoized dense-DFA kernels) to disk on close and
+  reloads entries lazily on demand after a restart, keyed by canonical
+  fingerprint (:mod:`repro.engine.warmstart`) — restarts answer
+  previously-compiled queries without recompiling;
 * optional **sharding** — ``shards=N`` spawns a pool of shard worker
   *processes* (:mod:`repro.shard`); every registered database is
   partitioned onto it and queries whose plans distribute scatter-gather
@@ -73,7 +83,9 @@ from repro.errors import (
     EvaluationTimeout,
     ParseError,
     QueueFullError,
+    QuotaExceededError,
     ReproError,
+    RequestCancelledError,
     ServiceClosedError,
     ServiceError,
     ShardError,
@@ -98,15 +110,18 @@ __all__ = [
 
 
 #: Error codes whose requests are safe to retry (possibly after backoff).
-RETRYABLE_CODES = frozenset({"timeout", "overloaded", "unavailable"})
+RETRYABLE_CODES = frozenset(
+    {"timeout", "overloaded", "quota", "cancelled", "unavailable"}
+)
 
 
 @dataclass(frozen=True)
 class ErrorInfo:
     """A structured, wire-serializable request failure."""
 
-    code: str            # timeout | overloaded | unavailable | shard |
-                         # parse | invalid | unsafe | internal
+    code: str            # timeout | overloaded | quota | cancelled |
+                         # unavailable | shard | parse | invalid |
+                         # unsafe | internal
     message: str
     retryable: bool
 
@@ -129,6 +144,10 @@ def classify_error(exc: BaseException) -> ErrorInfo:
         return ErrorInfo("timeout", str(exc), retryable=True)
     if isinstance(exc, QueueFullError):
         return ErrorInfo("overloaded", str(exc), retryable=True)
+    if isinstance(exc, QuotaExceededError):
+        return ErrorInfo("quota", str(exc), retryable=True)
+    if isinstance(exc, RequestCancelledError):
+        return ErrorInfo("cancelled", str(exc), retryable=True)
     if isinstance(exc, ServiceClosedError):
         return ErrorInfo("unavailable", str(exc), retryable=True)
     if isinstance(exc, ShardError):
@@ -210,6 +229,10 @@ class ServiceConfig:
     cache: Optional[AutomatonCache] = None  # defaults to the global cache
     shards: int = 0                       # 0 = no shard pool
     shard_scheme: str = "hash"            # "hash" | "relation"
+    warm_dir: Optional[str] = None        # spill/reload the automaton cache
+    quota_rate: Optional[float] = None    # per-client requests/second
+    quota_burst: float = 8.0              # per-client token-bucket capacity
+    stream_page_size: int = 256           # default rows per row_batch frame
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -228,6 +251,14 @@ class ServiceConfig:
                 f"shard_scheme must be 'hash' or 'relation', got "
                 f"{self.shard_scheme!r}"
             )
+        if self.quota_rate is not None and self.quota_rate <= 0:
+            raise ServiceError(
+                "quota_rate must be positive (or None to disable quotas)"
+            )
+        if self.quota_burst < 1:
+            raise ServiceError("quota_burst must be >= 1")
+        if self.stream_page_size < 1:
+            raise ServiceError("stream_page_size must be >= 1")
 
 
 # ------------------------------------------------------------------ registry
@@ -372,7 +403,8 @@ class _Job:
 
     __slots__ = (
         "request", "fn", "deadline", "submitted_at", "started_at",
-        "exec_seconds", "event", "outcome",
+        "exec_seconds", "event", "outcome", "cancelled", "_callbacks",
+        "_cb_lock", "_cb_fired",
     )
 
     def __init__(self, request: RunRequest, fn, deadline: Optional[Deadline]):
@@ -385,6 +417,34 @@ class _Job:
         self.event = threading.Event()
         # ("ok", payload dict) | ("error", exception)
         self.outcome: Optional[tuple[str, Any]] = None
+        #: Set by PendingRequest.cancel(): skip if still queued, expire
+        #: the deadline if already running.
+        self.cancelled = False
+        self._callbacks: list = []
+        self._cb_lock = threading.Lock()
+        self._cb_fired = False
+
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn()`` on the worker thread once the job completes (or
+        immediately, on the caller's thread, if it already did).  The
+        asyncio front end uses this to bridge worker completions back
+        onto the event loop via ``call_soon_threadsafe`` — no polling,
+        no thread blocked per in-flight request."""
+        with self._cb_lock:
+            if not self._cb_fired:
+                self._callbacks.append(fn)
+                return
+        fn()
+
+    def fire_callbacks(self) -> None:
+        with self._cb_lock:
+            self._cb_fired = True
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            try:
+                fn()
+            except Exception:  # a broken observer must not kill the worker
+                pass
 
 
 class PendingRequest:
@@ -397,6 +457,32 @@ class PendingRequest:
 
     def done(self) -> bool:
         return self._job.event.is_set()
+
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn()`` (no arguments) when the request completes.
+
+        Fires on the worker thread — keep it tiny and non-blocking (the
+        async server passes ``loop.call_soon_threadsafe`` trampolines).
+        If the request is already done, ``fn`` runs immediately on the
+        calling thread.
+        """
+        self._job.add_done_callback(fn)
+
+    def cancel(self) -> None:
+        """Abandon the request cooperatively (submitter went away).
+
+        Queued jobs are skipped by the worker (their outcome becomes a
+        retryable ``cancelled`` error); a job already running has its
+        deadline pulled into the past, so the engine's next checkpoint
+        aborts it (:meth:`repro.engine.deadline.Deadline.cancel`).  The
+        worker slot is therefore always reclaimed — promptly for queued
+        work, at the next checkpoint for in-flight work.
+        """
+        job = self._job
+        job.cancelled = True
+        if job.deadline is not None:
+            job.deadline.cancel()
+        METRICS.inc("service.cancel_requested")
 
     def wait(self, timeout: Optional[float] = None) -> ServiceResponse:
         """Block until the request finishes and return its response.
@@ -454,6 +540,16 @@ class QueryService:
             raise ServiceError("pass a ServiceConfig or keyword overrides, not both")
         self.config = config
         self._cache = config.cache if config.cache is not None else global_cache()
+        # Warm-start persistence: attach the spill directory as the
+        # cache's lazy miss loader, so entries compiled by a previous
+        # process are pulled off disk on first demand (and this process
+        # spills its own compilations on close / spill_warm()).
+        self._warm = None
+        if config.warm_dir:
+            from repro.engine.warmstart import WarmStartStore
+
+            self._warm = WarmStartStore(config.warm_dir)
+            self._warm.attach(self._cache)
         # shards > 0 spawns a worker-process pool; every registered
         # database is partitioned onto it and the planner's `sharded`
         # backend enters the cost argmin for distributing queries.
@@ -740,12 +836,28 @@ class QueryService:
                         ServiceClosedError("service shut down before execution"),
                     )
                     job.event.set()
+                    job.fire_callbacks()
         for _ in self._workers:
             self._queue.put(_SENTINEL)
         for t in self._workers:
             t.join(timeout)
         if self._coordinator is not None:
             self._coordinator.close()
+        if self._warm is not None:
+            # Spill after the pool stops: the cache holds everything this
+            # process compiled, and the next boot warm-starts from it.
+            self.spill_warm()
+
+    def spill_warm(self) -> Optional[dict]:
+        """Persist the automaton cache to the warm directory (if any).
+
+        Called automatically by :meth:`close`; callable explicitly for
+        checkpoint-style spills of a long-running service.  Returns the
+        spill counters, or ``None`` when no ``warm_dir`` is configured.
+        """
+        if self._warm is None:
+            return None
+        return self._warm.spill(self._cache)
 
     def __enter__(self) -> "QueryService":
         return self
@@ -793,6 +905,8 @@ class QueryService:
         }
         if self._coordinator is not None:
             out["sharding"] = self._coordinator.stats()
+        if self._warm is not None:
+            out["warmstart"] = self._warm.stats()
         return out
 
     # ------------------------------------------------------------- internals
@@ -810,6 +924,13 @@ class QueryService:
         METRICS.add_time("service.queue_wait_seconds", queue_wait)
         t0 = time.perf_counter()
         try:
+            if job.cancelled:
+                # The submitter abandoned the request while it was still
+                # queued (e.g. a streaming client disconnected): reclaim
+                # the worker without touching the engines.
+                raise RequestCancelledError(
+                    "request cancelled before execution"
+                )
             with deadline_scope(job.deadline):
                 if job.deadline is not None:
                     # Queue wait counts against the budget: a request that
@@ -820,7 +941,20 @@ class QueryService:
             METRICS.inc("service.ok")
             job.outcome = ("ok", payload)
         except BaseException as exc:  # never kill a worker on a bad request
-            if isinstance(exc, EvaluationTimeout):
+            if job.cancelled and isinstance(
+                exc, (EvaluationTimeout, RequestCancelledError)
+            ):
+                # In-flight cancellation surfaces as the expired deadline's
+                # EvaluationTimeout; report it as what it was.
+                METRICS.inc("service.cancelled")
+                exc = (
+                    exc if isinstance(exc, RequestCancelledError)
+                    else RequestCancelledError(
+                        "request cancelled mid-execution (submitter "
+                        "disconnected); partial work discarded"
+                    )
+                )
+            elif isinstance(exc, EvaluationTimeout):
                 METRICS.inc("service.timeouts")
             else:
                 METRICS.inc("service.errors")
@@ -829,6 +963,7 @@ class QueryService:
             job.exec_seconds = time.perf_counter() - t0
             METRICS.add_time("service.exec_seconds", job.exec_seconds)
             job.event.set()
+            job.fire_callbacks()
 
     def _evaluate(self, request: RunRequest) -> dict:
         """Plan (cached) and execute one request on the worker thread."""

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Any, Optional, Union
 
 from repro.algebra.distribute import Decomposition, analyze
 from repro.core.query import StringDatabase
@@ -41,7 +41,7 @@ from repro.engine.deadline import remaining as deadline_remaining
 from repro.engine.metrics import METRICS
 from repro.errors import ShardError
 from repro.shard.partition import SCHEMES, ShardedDatabase, shard_database
-from repro.shard.pool import ShardWorker, WorkerPool
+from repro.shard.pool import ShardWorker, WorkerPool, gather_all
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.engine.planner import Plan
@@ -413,36 +413,46 @@ class ShardCoordinator:
         # Pipelined scatter: every request is on the wire before the
         # first gather blocks, so shard processes overlap fully.
         waiters = {}
-        submit_error: dict[int, ShardError] = {}
+        responses: dict[int, Any] = {}
         for i in targets:
             try:
                 waiters[i] = self.pool.worker(i).submit(body)
             except ShardError as exc:
-                submit_error[i] = exc
+                responses[i] = exc
+        # Concurrent gather under ONE shared budget: the slowest shard
+        # bounds the wall clock, not the sum of per-shard waits.
+        responses.update(gather_all(waiters, wait))
+        # One retry round, itself concurrent: restart every failed slot,
+        # re-register its partitions, resend them all, gather again with
+        # whatever budget remains.  A shard that fails its retry raises.
+        retried_shards = {
+            i for i in targets if isinstance(responses[i], ShardError)
+        }
+        if retried_shards:
+            for i in sorted(retried_shards):
+                METRICS.inc("shard.retries")
+                self._restart_and_reload(i)
+            retry_budget = self._budget(timeout)
+            retry_body = dict(body)
+            if retry_budget is not None:
+                retry_body["timeout_ms"] = retry_budget * 1000.0
+            retry_wait = (
+                retry_budget + STRAGGLER_GRACE
+                if retry_budget is not None else DEFAULT_SHARD_WAIT
+            )
+            retry_waiters = {}
+            for i in sorted(retried_shards):
+                retry_waiters[i] = self.pool.worker(i).submit(retry_body)
+            for i, outcome in gather_all(retry_waiters, retry_wait).items():
+                if isinstance(outcome, ShardError):
+                    raise outcome
+                responses[i] = outcome
         reports: list[dict] = []
         merged: set[tuple[str, ...]] = set()
         columns: Optional[tuple[str, ...]] = None
         for i in targets:
-            retried = False
-            try:
-                if i in submit_error:
-                    raise submit_error[i]
-                response = waiters[i].wait(wait)
-            except ShardError:
-                # One retry: restart the slot, re-register its
-                # partitions, resend with whatever budget remains.
-                retried = True
-                METRICS.inc("shard.retries")
-                self._restart_and_reload(i)
-                retry_budget = self._budget(timeout)
-                retry_body = dict(body)
-                if retry_budget is not None:
-                    retry_body["timeout_ms"] = retry_budget * 1000.0
-                response = self.pool.worker(i).request(
-                    retry_body,
-                    retry_budget + STRAGGLER_GRACE
-                    if retry_budget is not None else DEFAULT_SHARD_WAIT,
-                )
+            retried = i in retried_shards
+            response = responses[i]
             if not response.get("ok"):
                 error = response.get("error", {})
                 raise ShardError(

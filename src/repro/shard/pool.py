@@ -25,12 +25,13 @@ import os
 import subprocess
 import sys
 import threading
-from typing import Any, Optional
+import time
+from typing import Any, Optional, Union
 
 from repro.engine.metrics import METRICS
 from repro.errors import ShardError
 
-__all__ = ["ShardWorker", "WorkerPool"]
+__all__ = ["ShardWorker", "WorkerPool", "gather_all"]
 
 #: Seconds to wait for a worker's readiness ping at spawn.
 START_TIMEOUT = 30.0
@@ -64,6 +65,35 @@ class _Waiter:
             raise self.error
         assert self.response is not None
         return self.response
+
+
+def gather_all(
+    waiters: dict[int, _Waiter], timeout: Optional[float]
+) -> dict[int, Union[dict, ShardError]]:
+    """Collect every waiter under **one shared budget**.
+
+    The responses complete concurrently (each worker has its own reader
+    thread), so waiting on them in turn while decrementing a single
+    deadline is a true concurrent gather: total wall clock is the
+    *slowest* shard bounded by ``timeout`` — not, as with a per-waiter
+    budget, up to ``len(waiters) × timeout`` when several shards
+    straggle at once.  Failures don't raise; each slot maps to either
+    the response dict or the :class:`~repro.errors.ShardError` that
+    sank it, so the caller can restart and retry every failed shard in
+    one concurrent round instead of serially per shard.
+    """
+    deadline = None if timeout is None else time.monotonic() + timeout
+    results: dict[int, Union[dict, ShardError]] = {}
+    for index, waiter in waiters.items():
+        remaining = (
+            None if deadline is None
+            else max(0.0, deadline - time.monotonic())
+        )
+        try:
+            results[index] = waiter.wait(remaining)
+        except ShardError as exc:
+            results[index] = exc
+    return results
 
 
 class ShardWorker:

@@ -5,16 +5,33 @@ This is the satellite test for the thread-safety work: the METRICS
 registry and the LRU automaton cache are shared by every worker, so lost
 increments, corrupted LRU state, or cross-request answer bleed would show
 up here as wrong rows or counters that do not add up.
+
+The asyncio front end (ISSUE 9) adds its own stress shapes: a thousand
+concurrent TCP connections must not grow the thread count (connections
+are coroutines, not threads), and clients that vanish mid-request at
+random must never poison the worker pool for the clients that stayed.
 """
 
+import asyncio
+import json
+import random
+import socket
 import threading
+import time
 
 import pytest
 
 from repro.core import Query, StringDatabase
 from repro.engine import AutomatonCache, global_cache
 from repro.engine.metrics import METRICS
-from repro.service import QueryService, RunRequest, ServiceConfig
+from repro.service import (
+    AsyncServiceClient,
+    QueryService,
+    RunRequest,
+    ServiceClient,
+    ServiceConfig,
+    serve_tcp,
+)
 
 pytestmark = pytest.mark.slow
 
@@ -174,6 +191,94 @@ class TestStress:
         for t in threads:
             t.join(60)
         assert METRICS.get("stress.counter") == 8 * 5000
+
+    def test_one_thousand_connections_without_thread_growth(self):
+        # ISSUE 9 acceptance: 1k concurrent connections are 1k parked
+        # coroutines on one event loop — the process thread count must
+        # not move while they are all open.
+        svc = QueryService(workers=4, max_pending=256)
+        svc.register_database("main", make_db())
+        server = serve_tcp(svc, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        baseline_threads = threading.active_count()
+
+        async def body():
+            clients = []
+            # Connect in waves so the SYN backlog never overflows.
+            for _ in range(10):
+                clients.extend(await asyncio.gather(*(
+                    AsyncServiceClient.connect(host, port)
+                    for _ in range(100)
+                )))
+            pongs = await asyncio.gather(*(c.ping() for c in clients))
+            threads_at_peak = threading.active_count()
+            answers = await asyncio.gather(*(
+                c.run("R(x) & last(x, '0')", db="main")
+                for c in clients[:64]
+            ))
+            await asyncio.gather(*(c.close() for c in clients))
+            return pongs, answers, threads_at_peak
+
+        try:
+            pongs, answers, threads_at_peak = asyncio.run(body())
+            assert len(pongs) == 1000
+            assert all(p["pong"] for p in pongs)
+            assert all(a["ok"] and a["rows"] == [["0110"]] for a in answers)
+            # The asyncio.run driver thread itself accounts for nothing
+            # server-side; allow a little slack for unrelated churn.
+            assert threads_at_peak - baseline_threads <= 4, (
+                f"thread count grew from {baseline_threads} to "
+                f"{threads_at_peak} under 1000 connections"
+            )
+            assert METRICS.get("service.connections") >= 1000
+        finally:
+            server.shutdown()
+            thread.join(10)
+            server.close_service()
+
+    def test_random_disconnects_do_not_poison_the_pool(self, serial_answers):
+        # Clients that vanish mid-request (queued or running) must have
+        # their work cancelled cooperatively; the survivors' answers stay
+        # exactly right afterwards.
+        from tests.test_timeouts import ADVERSARIAL_QUERY, ADVERSARIAL_STRINGS
+
+        svc = QueryService(workers=2, max_pending=64)
+        svc.register_database("main", make_db())
+        svc.register_database(
+            "adv", StringDatabase("01", {"R": [(s,) for s in ADVERSARIAL_STRINGS]})
+        )
+        server = serve_tcp(svc, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        rng = random.Random(1729)
+        try:
+            # Wave of abrupt disconnects: long queries, then hang up.
+            socks = []
+            for i in range(12):
+                sock = socket.create_connection((host, port))
+                sock.sendall((json.dumps({
+                    "op": "run", "id": i, "query": ADVERSARIAL_QUERY,
+                    "db": "adv", "stream": bool(i % 2),
+                    "timeout_ms": 30_000,
+                }) + "\n").encode())
+                socks.append(sock)
+            for sock in socks:
+                time.sleep(rng.uniform(0.0, 0.05))
+                sock.close()
+            # Survivors: every query still returns the serial answers.
+            with ServiceClient(host, port, read_timeout=60.0) as client:
+                for src in QUERIES:
+                    resp = client.run(src, db="main")
+                    assert resp["ok"], (src, resp.get("error"))
+                    assert resp["rows"] == serial_answers[src]
+            assert METRICS.get("service.cancel_requested") >= 1
+        finally:
+            server.shutdown()
+            thread.join(10)
+            server.close_service()
 
     def test_concurrent_cache_puts_stay_bounded(self):
         cache = AutomatonCache(maxsize=16)

@@ -6,10 +6,18 @@ The acceptance properties (ISSUE 2): a 1 ms-deadline request against an
 adversarial query returns a *structured* retryable timeout over the serve
 protocol — no hang, no traceback — and concurrent execution through the
 pool returns exactly the serial answers.
+
+ISSUE 9 adds the asyncio front end: streamed ``row_batch``/``done``
+frames (identical rows to a plain run on every backend), per-client
+token-bucket quotas, cooperative cancellation when a client disconnects
+mid-request, graceful drain on shutdown, and a client-side read deadline
+with a structured retryable error.
 """
 
+import asyncio
 import io
 import json
+import socket
 import threading
 import time
 
@@ -19,19 +27,25 @@ from repro.core import Query, StringDatabase
 from repro.engine import global_cache
 from repro.engine.metrics import METRICS
 from repro.errors import (
+    ClientReadTimeoutError,
     EvaluationTimeout,
     QueueFullError,
+    QuotaExceededError,
     ReproError,
+    RequestCancelledError,
     ServiceClosedError,
     ServiceError,
 )
 from repro.service import (
+    AsyncServiceClient,
+    AsyncTCPQueryServer,
     Dispatcher,
     PreparedQuery,
     QueryService,
     RunRequest,
     ServiceClient,
     ServiceConfig,
+    TCPQueryServer,
     classify_error,
     serve_stdio,
     serve_tcp,
@@ -348,6 +362,8 @@ class TestErrorClassification:
         cases = [
             (EvaluationTimeout("t"), "timeout", True),
             (QueueFullError("q"), "overloaded", True),
+            (QuotaExceededError("quota"), "quota", True),
+            (RequestCancelledError("gone"), "cancelled", True),
             (ServiceClosedError("c"), "unavailable", True),
             (ReproError("r"), "invalid", False),
             (ValueError("boom"), "internal", False),
@@ -488,6 +504,433 @@ class TestTCPProtocol:
             stats = client.stats()["stats"]
             assert stats["workers"] == 4
             assert set(stats["databases"]) == {"adv", "main"}
+
+
+def _tcp_server(svc):
+    """Bind + serve ``svc`` in a thread; returns (server, thread)."""
+    server = serve_tcp(svc, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread
+
+
+def _stop(server, thread):
+    server.shutdown()
+    thread.join(10)
+    server.close_service()
+
+
+class TestStreaming:
+    @pytest.fixture
+    def server(self):
+        svc = QueryService(workers=4)
+        svc.register_database("main", small_db())
+        server, thread = _tcp_server(svc)
+        yield server
+        _stop(server, thread)
+
+    def _client(self, server):
+        host, port = server.server_address[:2]
+        return ServiceClient(host, port)
+
+    def test_frames_over_tcp(self, server):
+        with self._client(server) as client:
+            frames = list(client.run_stream("S(y)", db="main", page_size=1))
+        batches, done = frames[:-1], frames[-1]
+        assert [f["frame"] for f in batches] == ["row_batch", "row_batch"]
+        assert [f["seq"] for f in batches] == [0, 1]
+        assert batches[0]["columns"] == ["y"]  # only the first frame
+        assert "columns" not in batches[1]
+        assert [f["rows"] for f in batches] == [[["0"]], [["01"]]]
+        assert done["frame"] == "done" and done["ok"]
+        assert done["row_count"] == 2 and done["batches"] == 2
+        assert done["engine"] and done["finite"] is True
+
+    def test_page_size_shapes_batches(self, server):
+        with self._client(server) as client:
+            frames = list(
+                client.run_stream("S(y) | R(y)", db="main", page_size=2)
+            )
+        assert [len(f["rows"]) for f in frames[:-1]] == [2, 2, 1]
+        assert frames[-1]["row_count"] == 5 and frames[-1]["batches"] == 3
+
+    def test_empty_answer_still_announces_columns(self, server):
+        # R and S are disjoint in small_db: zero rows, but the client
+        # must still learn the column list from a single empty batch.
+        with self._client(server) as client:
+            frames = list(client.run_stream("R(x) & S(x)", db="main"))
+        assert len(frames) == 2
+        assert frames[0]["rows"] == [] and frames[0]["columns"] == ["x"]
+        assert frames[1]["ok"] and frames[1]["row_count"] == 0
+        assert frames[1]["batches"] == 1
+
+    def test_streamed_rows_equal_plain_rows_per_backend(self, server):
+        with self._client(server) as client:
+            for engine in ("automata", "direct", "algebra", "codegen"):
+                plain = client.run("R(x) & !S(x)", db="main", engine=engine)
+                assert plain["ok"], (engine, plain.get("error"))
+                rows = client.run_stream_rows(
+                    "R(x) & !S(x)", db="main", page_size=1, engine=engine
+                )
+                assert sorted(rows) == sorted(plain["rows"]), engine
+
+    def test_error_becomes_failed_done_frame(self, server):
+        with self._client(server) as client:
+            frames = list(client.run_stream("R(x", db="main"))
+        assert len(frames) == 1
+        done = frames[0]
+        assert done["frame"] == "done" and done["ok"] is False
+        assert done["error"]["code"] == "parse"
+
+    def test_stream_rejected_inside_batch(self, server):
+        with self._client(server) as client:
+            resp = client.batch([
+                {"query": "R(x)", "db": "main", "stream": True},
+                {"query": "S(y)", "db": "main"},
+            ])
+        results = resp["results"]
+        assert not results[0]["ok"]
+        assert "stream" in results[0]["error"]["message"]
+        assert results[1]["rows"] == [["0"], ["01"]]
+
+    def test_interleaved_plain_requests_on_one_connection(self, server):
+        # Frames are contiguous per request; a plain run after a
+        # streamed one must still line up by id.
+        with self._client(server) as client:
+            rows = client.run_stream_rows("S(y)", db="main", page_size=1)
+            assert rows == [["0"], ["01"]]
+            resp = client.run("R(x) & last(x, '0')", db="main")
+            assert resp["ok"] and resp["rows"] == [["0110"]]
+
+    def test_stdio_streaming(self):
+        svc = QueryService(workers=2)
+        lines = [
+            json.dumps({
+                "op": "register_db", "id": 1, "name": "main",
+                "db": {"alphabet": "01",
+                       "relations": {"S": [["0"], ["01"]]}},
+            }),
+            json.dumps({"op": "run", "id": 2, "query": "S(y)", "db": "main",
+                        "stream": True, "page_size": 1}),
+        ]
+        stdin = io.StringIO("".join(line + "\n" for line in lines))
+        stdout = io.StringIO()
+        assert serve_stdio(svc, stdin=stdin, stdout=stdout) == 0
+        out = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        assert out[0]["ok"]
+        frames = out[1:]
+        assert [f.get("frame") for f in frames] == \
+            ["row_batch", "row_batch", "done"]
+        assert all(f["id"] == 2 for f in frames)
+        assert frames[-1]["row_count"] == 2
+
+
+class TestStreamingSharded:
+    def test_streamed_equals_plain_on_the_sharded_backend(self):
+        svc = QueryService(workers=2, shards=2)
+        svc.register_database("main", small_db())
+        server, thread = _tcp_server(svc)
+        try:
+            host, port = server.server_address[:2]
+            with ServiceClient(host, port) as client:
+                plain = client.run("R(x)", db="main", engine="sharded")
+                assert plain["ok"] and plain["engine"] == "sharded"
+                frames = list(client.run_stream(
+                    "R(x)", db="main", page_size=2, engine="sharded"
+                ))
+                rows = [r for f in frames[:-1] for r in f["rows"]]
+                assert sorted(rows) == sorted(plain["rows"])
+                assert frames[-1]["engine"] == "sharded"
+        finally:
+            _stop(server, thread)
+
+
+class TestAsyncClient:
+    @pytest.fixture
+    def server(self):
+        svc = QueryService(workers=2)
+        svc.register_database("main", small_db())
+        server, thread = _tcp_server(svc)
+        yield server
+        _stop(server, thread)
+
+    def test_async_round_trip(self, server):
+        host, port = server.server_address[:2]
+
+        async def body():
+            async with await AsyncServiceClient.connect(host, port) as client:
+                pong = await client.ping()
+                assert pong["pong"] is True
+                resp = await client.run("R(x) & last(x, '0')", db="main")
+                assert resp["ok"] and resp["rows"] == [["0110"]]
+                rows = []
+                async for frame in client.run_stream(
+                    "S(y)", db="main", page_size=1
+                ):
+                    if frame.get("frame") == "row_batch":
+                        rows.extend(frame["rows"])
+                    else:
+                        assert frame["ok"] and frame["row_count"] == 2
+                assert rows == [["0"], ["01"]]
+                batch = await client.batch([
+                    {"query": "S(y)", "db": "main"},
+                    {"query": "R(x", "db": "main"},
+                ])
+                results = batch["results"]
+                assert results[0]["rows"] == [["0"], ["01"]]
+                assert results[1]["error"]["code"] == "parse"
+
+        asyncio.run(body())
+
+    def test_many_concurrent_async_clients(self, server):
+        host, port = server.server_address[:2]
+
+        async def one():
+            async with await AsyncServiceClient.connect(host, port) as client:
+                resp = await client.run("R(x) & last(x, '0')", db="main")
+                return resp["ok"] and resp["rows"] == [["0110"]]
+
+        async def body():
+            return await asyncio.gather(*(one() for _ in range(32)))
+
+        assert all(asyncio.run(body()))
+
+
+class TestQuota:
+    def _server(self, **cfg):
+        svc = QueryService(ServiceConfig(workers=2, **cfg))
+        svc.register_database("main", small_db())
+        return _tcp_server(svc)
+
+    def test_reject_mode_returns_structured_quota_error(self):
+        # burst=1 with a glacial refill: the second request in the same
+        # instant must be rejected with a retryable quota error.
+        server, thread = self._server(
+            quota_rate=0.001, quota_burst=1.0, backpressure="reject"
+        )
+        try:
+            host, port = server.server_address[:2]
+            with ServiceClient(host, port) as client:
+                first = client.run("R(x)", db="main")
+                assert first["ok"]
+                second = client.run("R(x)", db="main")
+                assert second["ok"] is False
+                assert second["error"]["code"] == "quota"
+                assert second["error"]["retryable"] is True
+                assert second["retry_after"] > 0
+                assert METRICS.get("service.quota_rejections") >= 1
+                # Control ops are never metered.
+                assert client.ping()["pong"] is True
+        finally:
+            _stop(server, thread)
+
+    def test_quota_is_per_connection(self):
+        server, thread = self._server(
+            quota_rate=0.001, quota_burst=1.0, backpressure="reject"
+        )
+        try:
+            host, port = server.server_address[:2]
+            with ServiceClient(host, port) as a:
+                assert a.run("R(x)", db="main")["ok"]
+                with ServiceClient(host, port) as b:
+                    # A fresh connection has its own bucket.
+                    assert b.run("R(x)", db="main")["ok"]
+        finally:
+            _stop(server, thread)
+
+    def test_block_mode_delays_instead_of_rejecting(self):
+        # rate=2 → the bucket needs 500ms to refill, so the second run
+        # must wait even when the first one's round trip was slow (a
+        # fast refill rate makes this assertion timing-flaky).
+        server, thread = self._server(
+            quota_rate=2.0, quota_burst=1.0, backpressure="block"
+        )
+        try:
+            host, port = server.server_address[:2]
+            with ServiceClient(host, port) as client:
+                assert client.run("R(x)", db="main")["ok"]
+                assert client.run("R(x)", db="main")["ok"]  # delayed, not dropped
+            assert METRICS.get("service.quota_delays") >= 1
+        finally:
+            _stop(server, thread)
+
+    def test_batch_is_charged_per_item(self):
+        server, thread = self._server(
+            quota_rate=0.001, quota_burst=2.0, backpressure="reject"
+        )
+        try:
+            host, port = server.server_address[:2]
+            with ServiceClient(host, port) as client:
+                resp = client.batch([
+                    {"query": "R(x)", "db": "main"} for _ in range(5)
+                ])
+                assert resp["ok"] is False
+                assert resp["error"]["code"] == "quota"
+        finally:
+            _stop(server, thread)
+
+    def test_invalid_weight_is_a_protocol_error(self):
+        server, thread = self._server()
+        try:
+            host, port = server.server_address[:2]
+            with ServiceClient(host, port) as client:
+                resp = client.run("R(x)", db="main", weight=-2)
+                assert resp["ok"] is False and "weight" in resp["error"]["message"]
+                resp = client.run("R(x)", db="main", weight=3)
+                assert resp["ok"]
+        finally:
+            _stop(server, thread)
+
+
+class TestDisconnectCancellation:
+    def test_disconnect_mid_request_frees_the_only_worker(self):
+        svc = QueryService(workers=1, max_pending=8)
+        svc.register_database("main", small_db())
+        svc.register_database("adv", adversarial_db())
+        server, thread = _tcp_server(svc)
+        try:
+            host, port = server.server_address[:2]
+            # A raw socket sends a long streamed run, then vanishes.
+            sock = socket.create_connection((host, port))
+            sock.sendall((json.dumps({
+                "op": "run", "id": 1, "query": ADVERSARIAL_QUERY,
+                "db": "adv", "stream": True, "timeout_ms": 30_000,
+            }) + "\n").encode())
+            time.sleep(0.3)  # let the worker dequeue it
+            sock.close()
+            # The abandoned request must be cancelled cooperatively; the
+            # single worker comes back to serve the next client.
+            with ServiceClient(host, port, read_timeout=30.0) as client:
+                resp = client.run("R(x) & last(x, '0')", db="main")
+                assert resp["ok"] and resp["rows"] == [["0110"]]
+            assert METRICS.get("service.cancel_requested") >= 1
+            assert METRICS.get("service.disconnects_inflight") >= 1
+            assert METRICS.get("service.streams_cancelled") >= 1
+        finally:
+            _stop(server, thread)
+
+    def test_disconnect_while_queued_skips_execution(self):
+        # One worker busy + one queued request whose client vanishes: the
+        # queued job must be skipped before any engine work happens.
+        svc = QueryService(workers=1, max_pending=8)
+        svc.register_database("main", small_db())
+        svc.register_database("adv", adversarial_db())
+        server, thread = _tcp_server(svc)
+        try:
+            host, port = server.server_address[:2]
+            busy = socket.create_connection((host, port))
+            busy.sendall((json.dumps({
+                "op": "run", "id": 1, "query": ADVERSARIAL_QUERY,
+                "db": "adv", "timeout_ms": 2_000,
+            }) + "\n").encode())
+            time.sleep(0.2)
+            queued = socket.create_connection((host, port))
+            queued.sendall((json.dumps({
+                "op": "run", "id": 2, "query": ADVERSARIAL_QUERY,
+                "db": "adv", "timeout_ms": 30_000,
+            }) + "\n").encode())
+            time.sleep(0.2)
+            queued.close()   # vanish while still in the queue
+            busy.close()
+            with ServiceClient(host, port, read_timeout=30.0) as client:
+                assert client.run("R(x)", db="main")["ok"]
+            assert METRICS.get("service.cancel_requested") >= 1
+        finally:
+            _stop(server, thread)
+
+
+class TestGracefulShutdown:
+    def test_inflight_request_completes_during_drain(self):
+        svc = QueryService(workers=2)
+        svc.register_database("adv", adversarial_db())
+        server, thread = _tcp_server(svc)
+        stopped = []
+        try:
+            host, port = server.server_address[:2]
+            with ServiceClient(host, port, read_timeout=30.0) as client:
+                # Kick off a request that outlives the shutdown request,
+                # then ask the server to stop while it is in flight.
+                threading.Timer(0.15, server.begin_shutdown).start()
+                t0 = time.monotonic()
+                resp = client.run(ADVERSARIAL_QUERY, db="adv",
+                                  timeout_ms=1_000)
+                # The in-flight request got its full deadline and a
+                # structured answer despite the drain.
+                assert resp["ok"] is False
+                assert resp["error"]["code"] == "timeout"
+                assert time.monotonic() - t0 < 4.0
+            thread.join(10)
+            stopped.append(not thread.is_alive())
+            # The listener is gone: new connections are refused.
+            with pytest.raises(OSError):
+                socket.create_connection((host, port), timeout=1.0)
+        finally:
+            if not stopped:
+                _stop(server, thread)
+            else:
+                server.close_service()
+        assert stopped == [True]
+        assert svc.closed
+
+    def test_streamed_inflight_gets_its_done_frame(self):
+        svc = QueryService(workers=1)
+        svc.register_database("main", small_db())
+        server, thread = _tcp_server(svc)
+        try:
+            host, port = server.server_address[:2]
+            with ServiceClient(host, port, read_timeout=30.0) as client:
+                threading.Timer(0.05, server.begin_shutdown).start()
+                frames = list(client.run_stream("S(y)", db="main",
+                                                page_size=1))
+                assert frames[-1]["frame"] == "done" and frames[-1]["ok"]
+            thread.join(10)
+            assert not thread.is_alive()
+        finally:
+            server.close_service()
+
+    def test_tcp_alias_is_the_async_server(self):
+        assert TCPQueryServer is AsyncTCPQueryServer
+
+
+class TestClientReadDeadline:
+    def test_read_timeout_is_a_structured_retryable_error(self):
+        # A listener that accepts but never answers: the client must
+        # surface a structured retryable timeout, not hang forever.
+        sink = socket.socket()
+        sink.bind(("127.0.0.1", 0))
+        sink.listen(1)
+        host, port = sink.getsockname()
+        try:
+            client = ServiceClient(host, port, read_timeout=0.2)
+            t0 = time.monotonic()
+            with pytest.raises(ClientReadTimeoutError) as exc_info:
+                client.ping()
+            assert time.monotonic() - t0 < 2.0
+            assert exc_info.value.retryable is True
+            assert exc_info.value.code == "client_timeout"
+            # The connection is poisoned: later requests fail fast
+            # instead of desynchronizing on a late reply.
+            with pytest.raises(ServiceError):
+                client.ping()
+            client.close()
+        finally:
+            sink.close()
+
+    def test_read_timeout_defaults_to_timeout(self):
+        svc = QueryService(workers=1)
+        svc.register_database("main", small_db())
+        server, thread = _tcp_server(svc)
+        try:
+            host, port = server.server_address[:2]
+            client = ServiceClient(host, port, timeout=7.5)
+            assert client.read_timeout == 7.5
+            explicit = ServiceClient(host, port, timeout=7.5,
+                                     read_timeout=1.25)
+            assert explicit.read_timeout == 1.25
+            client.close()
+            explicit.close()
+        finally:
+            _stop(server, thread)
 
 
 class TestDispatcherDirect:

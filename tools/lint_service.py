@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Fail the build if asyncio transport primitives leak outside service/shard.
+
+The asyncio front end (``src/repro/service/``) is the only place allowed
+to open sockets through the event loop — ``asyncio.start_server``,
+``asyncio.open_connection``, ``loop.create_server`` /
+``create_connection``, raw ``StreamReader`` / ``StreamWriter``
+construction, and event-loop ownership (``new_event_loop`` /
+``run_until_complete``).  That is where the read-size limit, per-client
+quotas, fair queuing, disconnect-driven cancellation, and graceful-drain
+shutdown live.  An engine or planner module that opens its own stream
+bypasses all of it: connections with no byte limit, no admission
+control, no cancellation on disconnect — functional tests stay green,
+the operational guarantees silently vanish.
+
+This linter scans ``src/repro/`` for event-loop transport primitives
+outside the sanctioned packages (``service/``, plus ``shard/`` which
+owns the process-pipe transport) and exits non-zero listing offenders.
+It complements ``tools/lint_shard.py``, which confines the *blocking*
+primitives (``socket``, ``subprocess``) to the same layers.
+
+Run via ``make lint-service`` (wired into ``make test``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+
+#: Packages that own wire transport (relative to ``src/repro/``).
+SANCTIONED = ("service", "shard")
+
+#: Event-loop transport primitives: stream factories, raw stream class
+#: construction, and event-loop ownership.
+FORBIDDEN = re.compile(
+    r"(?:asyncio\.|loop\.)"
+    r"(?:start_server|open_connection|start_unix_server|"
+    r"open_unix_connection|create_server|create_connection|"
+    r"new_event_loop|run_until_complete)\s*\("
+    r"|(?<![A-Za-z0-9_.])Stream(?:Reader|Writer)\s*\("
+)
+
+
+def offenders() -> list[str]:
+    found: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(ROOT)
+        if path.relative_to(SRC).parts[0] in SANCTIONED:
+            continue
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if FORBIDDEN.search(line):
+                found.append(f"{rel}:{lineno}: {line.strip()}")
+    return found
+
+
+def main() -> int:
+    bad = offenders()
+    if bad:
+        print(
+            "asyncio transport primitives (servers/streams/event loops) "
+            "outside src/repro/service/ and src/repro/shard/ — route wire "
+            "plumbing through the service front end:",
+            file=sys.stderr,
+        )
+        for line in bad:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(
+        "lint-service: ok (event-loop transport confined to "
+        + " and ".join(f"src/repro/{p}/" for p in SANCTIONED)
+        + ")"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
