@@ -41,6 +41,7 @@ import threading
 import time
 from typing import Any, Callable, Optional
 
+from repro.engine.metrics import METRICS
 from repro.errors import QueueFullError, QuotaExceededError, ServiceClosedError
 
 __all__ = ["TokenBucket", "FairScheduler", "DEFAULT_WEIGHT"]
@@ -215,6 +216,13 @@ class FairScheduler:
         (1→20 ms, exponential) and retries the *same* item — fair order
         is preserved under overload — until the item's own admission
         timeout expires.
+
+        Submit thunks must never block the loop: the server builds them
+        as ``service.submit(request, nowait=True)``, so a full queue
+        always surfaces here as :class:`QueueFullError` (even under
+        ``backpressure="block"``) and the waiting happens in this
+        coroutine's ``asyncio.sleep`` — not in ``queue.put`` on the
+        event-loop thread.
         """
         self._wakeup = asyncio.Event()
         while True:
@@ -235,6 +243,7 @@ class FairScheduler:
                     now = time.monotonic()
                     if item.expires_at is not None and now >= item.expires_at:
                         self.expired += 1
+                        METRICS.inc("service.rejected")
                         if not item.future.cancelled():
                             item.future.set_exception(QueueFullError(
                                 "service queue full for the whole admission "

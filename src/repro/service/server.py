@@ -267,6 +267,18 @@ class AsyncTCPQueryServer:
                     line = await source.readline()
                 except (ConnectionError, OSError):
                     break
+                except (ValueError, asyncio.LimitOverrunError,
+                        asyncio.IncompleteReadError):
+                    # A request line past READ_LIMIT: the stream can no
+                    # longer be framed, so answer with a structured
+                    # protocol error and close instead of dying silently.
+                    error = classify_error(ProtocolError(
+                        f"request line exceeds the {READ_LIMIT}-byte limit"
+                    ))
+                    await self._write(writer, {
+                        "id": None, "ok": False, "error": error.to_dict(),
+                    }, swallow=True)
+                    break
                 if not line:
                     break
                 if not line.strip():
@@ -354,6 +366,20 @@ class AsyncTCPQueryServer:
         if op == "batch":
             items = obj.get("requests")
             cost = float(max(1, len(items))) if isinstance(items, list) else 1.0
+            # A bucket never holds more than `burst` tokens, so a batch
+            # costing more than that could never be admitted: blocking
+            # would hang forever and a retry_after hint would be a lie.
+            # Fail it up front with a non-retryable structured error.
+            if bucket.rate is not None and cost > bucket.burst:
+                METRICS.inc("service.quota_rejections")
+                return await self._fail(
+                    writer, request_id,
+                    ProtocolError(
+                        f"batch of {int(cost)} items exceeds the "
+                        f"per-connection quota burst ({bucket.burst:g}); "
+                        "split the batch or raise quota_burst"
+                    ),
+                )
         else:
             cost = 1.0
         retry_after = bucket.try_acquire(cost)
@@ -521,9 +547,13 @@ class AsyncTCPQueryServer:
             0.0 if self.service.config.backpressure == "reject"
             else request.timeout
         )
+        # nowait=True: a full queue raises QueueFullError to the pump
+        # instead of parking the event loop in queue.put — in block mode
+        # the pump's asyncio.sleep backoff supplies the waiting, so the
+        # server stays responsive (pings, disconnects) under saturation.
         fut = self._scheduler.schedule(
             client_id,
-            lambda: self.service.submit(request),
+            lambda: self.service.submit(request, nowait=True),
             weight=weight,
             timeout=admission_timeout,
         )
@@ -583,7 +613,13 @@ class AsyncTCPQueryServer:
                 if watch.done():
                     try:
                         data = watch.result()
-                    except (ConnectionError, OSError):
+                    except (ConnectionError, OSError,
+                            ValueError, asyncio.LimitOverrunError,
+                            asyncio.IncompleteReadError):
+                        # Reset — or an oversized pipelined line, after
+                        # which the stream cannot be re-framed: either
+                        # way the connection is unusable, so treat it as
+                        # a disconnect (cancels the in-flight request).
                         data = b""
                     watch = None
                     if not data:

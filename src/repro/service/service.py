@@ -733,7 +733,9 @@ class QueryService:
 
     # ------------------------------------------------------------ execution
 
-    def submit(self, request: RunRequest) -> PendingRequest:
+    def submit(
+        self, request: RunRequest, *, nowait: bool = False
+    ) -> PendingRequest:
         """Admit a request into the queue and return a waitable handle.
 
         Raises :class:`~repro.errors.ServiceClosedError` when draining or
@@ -741,6 +743,17 @@ class QueryService:
         full under ``backpressure="reject"``, and
         :class:`~repro.errors.EvaluationTimeout` when a blocked submission
         outlives the request's own deadline.
+
+        ``nowait=True`` forces the non-blocking admission path regardless
+        of the configured backpressure mode: a full queue raises
+        :class:`~repro.errors.QueueFullError` immediately instead of
+        blocking the calling thread.  The asyncio front end submits this
+        way so its event loop is never parked in ``queue.put`` — under
+        ``backpressure="block"`` the scheduler pump supplies the waiting
+        with ``asyncio.sleep`` retries (:meth:`repro.service.quota.
+        FairScheduler.pump`).  Retried nowait attempts that find the
+        queue full are not counted as requests or rejections; only the
+        admitted attempt increments ``service.requests``.
         """
         if self._closed:
             raise ServiceClosedError("service is draining or closed")
@@ -750,17 +763,20 @@ class QueryService:
         )
         deadline = Deadline(timeout) if timeout is not None else None
         job = _Job(request, lambda: self._evaluate(request), deadline)
-        METRICS.inc("service.requests")
-        if self.config.backpressure == "reject":
+        if nowait or self.config.backpressure == "reject":
             try:
                 self._queue.put_nowait(job)
             except queue.Full:
-                METRICS.inc("service.rejected")
+                if self.config.backpressure == "reject":
+                    METRICS.inc("service.requests")
+                    METRICS.inc("service.rejected")
                 raise QueueFullError(
                     f"request queue full ({self.config.max_pending} pending); "
                     "retry after backoff"
                 ) from None
+            METRICS.inc("service.requests")
         else:
+            METRICS.inc("service.requests")
             self._block_until_admitted(job, deadline)
         return PendingRequest(job)
 

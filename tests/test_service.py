@@ -295,6 +295,24 @@ class TestAdmissionControl:
         finally:
             svc.close()
 
+    def test_submit_nowait_never_blocks_in_block_mode(self):
+        # The async front end submits with nowait=True: a full queue
+        # must raise QueueFullError immediately (the pump awaits and
+        # retries) instead of parking the calling thread in queue.put.
+        svc = QueryService(workers=1, max_pending=1, backpressure="block")
+        svc.register_database("adv", adversarial_db())
+        try:
+            self._occupy(svc, budget=0.5)
+            svc.submit(RunRequest(query=ADVERSARIAL_QUERY, database="adv",
+                                  timeout=0.5))
+            t0 = time.monotonic()
+            with pytest.raises(QueueFullError):
+                svc.submit(RunRequest(query="R(x)", database="adv"),
+                           nowait=True)
+            assert time.monotonic() - t0 < 0.2
+        finally:
+            svc.close()
+
 
 class TestLifecycle:
     def test_close_drains_queued_requests(self):
@@ -761,11 +779,40 @@ class TestQuota:
         try:
             host, port = server.server_address[:2]
             with ServiceClient(host, port) as client:
+                # A batch within burst drains one token per item...
+                first = client.batch([
+                    {"query": "R(x)", "db": "main"} for _ in range(2)
+                ])
+                assert first["ok"] is True
+                # ...so the next single run finds the bucket empty.
+                resp = client.run("R(x)", db="main")
+                assert resp["ok"] is False
+                assert resp["error"]["code"] == "quota"
+                assert resp["error"]["retryable"] is True
+        finally:
+            _stop(server, thread)
+
+    @pytest.mark.parametrize("mode", ["reject", "block"])
+    def test_oversized_batch_fails_fast_not_retryable(self, mode):
+        # A batch costing more than the bucket's burst can never be
+        # admitted: under "block" it used to hang the connection forever
+        # and under "reject" the retry_after hint was a lie.  Both modes
+        # must fail it up front with a non-retryable structured error.
+        server, thread = self._server(
+            quota_rate=0.001, quota_burst=2.0, backpressure=mode
+        )
+        try:
+            host, port = server.server_address[:2]
+            with ServiceClient(host, port, read_timeout=10.0) as client:
                 resp = client.batch([
                     {"query": "R(x)", "db": "main"} for _ in range(5)
                 ])
                 assert resp["ok"] is False
-                assert resp["error"]["code"] == "quota"
+                assert resp["error"]["code"] == "invalid"
+                assert resp["error"]["retryable"] is False
+                assert "quota_burst" in resp["error"]["message"]
+                # The connection is still usable afterwards.
+                assert client.ping()["pong"] is True
         finally:
             _stop(server, thread)
 
@@ -835,6 +882,96 @@ class TestDisconnectCancellation:
             with ServiceClient(host, port, read_timeout=30.0) as client:
                 assert client.run("R(x)", db="main")["ok"]
             assert METRICS.get("service.cancel_requested") >= 1
+        finally:
+            _stop(server, thread)
+
+
+class TestBlockModeEventLoop:
+    def test_server_answers_pings_while_block_mode_queue_is_full(self):
+        # Saturate a block-mode server: one worker busy, the queue full,
+        # and one more request retrying admission in the pump.  The event
+        # loop must keep answering pings — the regression here was the
+        # pump calling the thread-blocking submit path, freezing every
+        # connection until queue space freed.  The worker is gated on an
+        # event so the saturation window is deterministic, not a race
+        # against how fast the machine evaluates queries.
+        svc = QueryService(workers=1, max_pending=1, backpressure="block")
+        svc.register_database("main", small_db())
+        release = threading.Event()
+        inner = svc._evaluate
+
+        def gated_evaluate(request):
+            release.wait(20)
+            return inner(request)
+
+        svc._evaluate = gated_evaluate
+        server, thread = _tcp_server(svc)
+        socks = []
+        try:
+            host, port = server.server_address[:2]
+            for i in range(3):
+                sock = socket.create_connection((host, port))
+                sock.sendall((json.dumps({
+                    "op": "run", "id": i, "query": "R(x)",
+                    "db": "main", "timeout_ms": 30_000,
+                }) + "\n").encode())
+                socks.append(sock)
+            # Wait for full saturation: request 1 gating the worker,
+            # request 2 filling the queue, request 3 about to hit the
+            # pump's full-queue path.
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline and not (
+                svc._queue.full() and server._scheduler.dispatched >= 2
+            ):
+                time.sleep(0.01)
+            assert svc._queue.full()
+            time.sleep(0.2)  # let the pump pop request 3
+            t0 = time.monotonic()
+            with ServiceClient(host, port, read_timeout=10.0) as client:
+                assert client.ping()["pong"] is True
+            assert time.monotonic() - t0 < 2.0
+        finally:
+            release.set()
+            for sock in socks:
+                sock.close()
+            _stop(server, thread)
+
+
+class TestOversizedLines:
+    def test_line_over_limit_gets_structured_error_and_clean_close(self):
+        from repro.service.server import READ_LIMIT
+
+        svc = QueryService(workers=1)
+        svc.register_database("main", small_db())
+        server, thread = _tcp_server(svc)
+        try:
+            host, port = server.server_address[:2]
+            sock = socket.create_connection((host, port))
+            sock.settimeout(30)
+            try:
+                # One "line" past READ_LIMIT with no newline: the server
+                # must answer with a structured protocol error and close
+                # the connection, not die with an unretrieved ValueError.
+                # Overshoot by exactly one byte — a bigger tail can still
+                # be in the server's kernel buffer when it closes, which
+                # turns the close into an RST that races the error reply.
+                sock.sendall(b"a" * (READ_LIMIT + 1))
+                buf = b""
+                while not buf.endswith(b"\n"):
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    buf += chunk
+                resp = json.loads(buf)
+                assert resp["ok"] is False
+                assert resp["error"]["code"] == "invalid"
+                assert "limit" in resp["error"]["message"]
+                assert sock.recv(1) == b""  # clean EOF, not a hang
+            finally:
+                sock.close()
+            # The server survived and serves the next client normally.
+            with ServiceClient(host, port, read_timeout=10.0) as client:
+                assert client.run("R(x)", db="main")["ok"]
         finally:
             _stop(server, thread)
 
