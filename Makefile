@@ -8,18 +8,20 @@ SMOKE_DIR := .bench-smoke
 	lint-delta lint-codegen lint-service lint-docs bench-smoke \
 	bench-algebra bench-algebra-smoke bench-kernel bench-kernel-smoke \
 	bench-shard bench-shard-smoke bench-delta bench-delta-smoke \
-	bench-codegen bench-codegen-smoke bench-compare bench-full \
+	bench-codegen bench-codegen-smoke bench-ranf bench-ranf-smoke \
+	bench-compare bench-report bench-full \
 	bench-service bench-service-smoke serve-smoke clean
 
 ## Fast local loop: lints, skip @pytest.mark.slow tests, then smoke the
 ## perf claims cheapest to regress silently (algebra joins, the dense
 ## automata kernel, the shard scatter-gather pool, incremental delta
-## maintenance, the compiled-plan codegen backend, and the asyncio
-## service front end, each gated against its committed BENCH_*.json).
+## maintenance, the compiled-plan codegen backend, the RANF-widened
+## fast-engine regime, and the asyncio service front end, each gated
+## against its committed BENCH_*.json).
 test: lint-dispatch lint-kernel lint-shard lint-delta lint-codegen \
 		lint-service bench-algebra-smoke bench-kernel-smoke \
 		bench-shard-smoke bench-delta-smoke bench-codegen-smoke \
-		bench-service-smoke
+		bench-ranf-smoke bench-service-smoke
 	$(PY) -m pytest -x -q -m "not slow"
 
 ## Fail if engine-name literal comparisons (== "automata"/"direct"/
@@ -150,9 +152,30 @@ bench-codegen-smoke:
 	mkdir -p $(SMOKE_DIR)
 	$(PY) benchmarks/bench_codegen.py --smoke --compare --explain-json $(SMOKE_DIR)/codegen.json
 
+## RANF-widened regime vs the automata baseline on six shapes the old
+## algebra gate rejected (full sweep, asserts the >=5x speedup on at
+## least three prefix-quantified shapes, checks the auto planner flips
+## to the fast engine there, and gates every ratio against
+## BENCH_ranf.json; see docs/ranf_translation.md).
+bench-ranf:
+	mkdir -p $(SMOKE_DIR)
+	$(PY) benchmarks/bench_ranf.py --compare --explain-json $(SMOKE_DIR)/ranf.json
+
+## Minimal sizes of the same sweep, still gated against the baseline;
+## part of `make test`'s fast path.
+bench-ranf-smoke:
+	mkdir -p $(SMOKE_DIR)
+	$(PY) benchmarks/bench_ranf.py --smoke --compare --explain-json $(SMOKE_DIR)/ranf.json
+
 ## Re-measure and gate without the full pytest run (alias kept for the
 ## name used in docs; exits non-zero on any >1.3x speedup regression).
-bench-compare: bench-kernel bench-shard bench-delta bench-codegen
+bench-compare: bench-kernel bench-shard bench-delta bench-codegen bench-ranf
+
+## One markdown table over every committed BENCH_*.json baseline: each
+## workload key with its committed speedup ratio, grouped per bench,
+## plus the per-bench best/worst/median summary (tools/bench_trajectory.py).
+bench-report:
+	$(PY) tools/bench_trajectory.py
 
 bench-full:
 	$(PY) -m pytest benchmarks/ --benchmark-only

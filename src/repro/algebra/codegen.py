@@ -716,7 +716,7 @@ def prewarm(
 
     try:
         formula = canonicalize(formula)
-        if not algebra_eligible(formula):
+        if not algebra_eligible(formula, structure):
             return False
         pipeline, _ = get_pipeline(formula, structure, schema, slack)
     except Exception:

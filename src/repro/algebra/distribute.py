@@ -345,7 +345,7 @@ def analyze(
     plan_relations: tuple[str, ...] = relations
     plan_ok = False
     plan_why = "not an algebra-eligible query"
-    if algebra_eligible(formula):
+    if algebra_eligible(formula, structure):
         plan_ok, plan_relations, plan_why = plan_shape_certificate(
             formula, structure, database, slack
         )

@@ -30,7 +30,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.algebra.compile import CompiledQuery, compile_query
+from repro.algebra.compile import CompiledQuery, CompileError, compile_query
 from repro.algebra.optimize import _rebuild, _Shim, optimize_for_execution
 from repro.algebra.plan import (
     Difference,
@@ -320,8 +320,21 @@ def compile_for_execution(
     hit = _PLAN_CACHE.get(key)
     if hit is not None:
         return hit
-    compiled = compile_query(formula, structure, schema, slack=slack)
-    optimized = optimize_for_execution(compiled.plan)
+    try:
+        compiled = compile_query(formula, structure, schema, slack=slack)
+        optimized = optimize_for_execution(compiled.plan)
+    except CompileError:
+        # Outside Theorem 4's collapsed fragment: fall back to the RANF
+        # translation (repro.algebra.ranf) and execute its *finite* half.
+        # Everything keyed off this function — codegen pipelines, delta
+        # maintenance, sharded scatter — therefore computes/maintains
+        # exactly the finite half; the planner only routes formulas here
+        # whose finite half is provably the whole answer, and the algebra
+        # backend runs the pair's "infinite" check itself via run_ranf.
+        from repro.algebra.ranf import translate_ranf
+
+        pair = translate_ranf(formula, structure, schema, slack=slack)
+        compiled, optimized = pair.compiled, pair.fin_optimized
     if len(_PLAN_CACHE) >= _PLAN_CACHE_CAP:
         _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
     _PLAN_CACHE[key] = (compiled, optimized)
@@ -335,12 +348,14 @@ def run_algebra(
     slack: int = 1,
     recorder=None,
 ) -> tuple[tuple[str, ...], Rows, OpStats]:
-    """Evaluate a collapsed-form query with the set-at-a-time executor.
+    """Evaluate a RANF-translatable query with the set-at-a-time executor.
 
-    Returns ``(output columns, rows, operator stats)``.  Raises
-    :class:`repro.algebra.compile.CompileError` when the query is not in
-    collapsed form (the planner checks eligibility before calling this).
-    ``recorder`` is forwarded to :class:`AlgebraExecutor`.
+    Returns ``(output columns, rows, operator stats)``.  Queries outside
+    the collapsed fragment run the RANF translation's finite half (see
+    :func:`compile_for_execution`); :class:`~repro.algebra.compile.CompileError`
+    is raised when even the translation bails (the planner checks
+    eligibility before calling this).  ``recorder`` is forwarded to
+    :class:`AlgebraExecutor`.
     """
     compiled, optimized = compile_for_execution(
         formula, structure, database.schema, slack=slack

@@ -32,7 +32,15 @@ class Database:
     ['01', '0110']
     """
 
-    __slots__ = ("alphabet", "schema", "_relations", "_adom", "_fingerprint")
+    __slots__ = (
+        "alphabet",
+        "schema",
+        "_relations",
+        "_adom",
+        "_fingerprint",
+        "_prefix_closure",
+        "_prefix_closure_size",
+    )
 
     def __init__(
         self,
@@ -84,6 +92,8 @@ class Database:
             for tup in tuples:
                 adom.update(tup)
         self._adom = frozenset(adom)
+        self._prefix_closure: frozenset[str] | None = None
+        self._prefix_closure_size: int | None = None
 
     # ------------------------------------------------------------- accessors
 
@@ -103,8 +113,39 @@ class Database:
         return self._adom
 
     def adom_prefix_closure(self) -> frozenset[str]:
-        """``prefix(adom(D))`` — the domain of prefix-restricted quantifiers."""
-        return prefix_closure(self._adom)
+        """``prefix(adom(D))`` — the domain of prefix-restricted quantifiers.
+
+        Memoized per instance: snapshots are immutable, and both the
+        gamma expansions and the planner's cost estimates ask repeatedly.
+        """
+        if self._prefix_closure is None:
+            self._prefix_closure = prefix_closure(self._adom)
+            self._prefix_closure_size = len(self._prefix_closure)
+        return self._prefix_closure
+
+    def adom_prefix_closure_size(self) -> int:
+        """``|prefix(adom(D))|`` without materializing the closure.
+
+        The planner's cost model only needs the cardinality; counting
+        trie nodes over the sorted active domain (one new node per
+        character past the longest-common-prefix with the previous
+        string) avoids constructing and hashing every prefix string.
+        """
+        if self._prefix_closure_size is None:
+            if not self._adom:
+                self._prefix_closure_size = 0
+                return 0
+            count = 1  # the empty string
+            prev = ""
+            for s in sorted(self._adom):
+                lcp = 0
+                limit = min(len(prev), len(s))
+                while lcp < limit and prev[lcp] == s[lcp]:
+                    lcp += 1
+                count += len(s) - lcp
+                prev = s
+            self._prefix_closure_size = count
+        return self._prefix_closure_size
 
     @property
     def max_string_length(self) -> int:
@@ -167,6 +208,8 @@ class Database:
         self._relations = relations
         self._adom = adom
         self._fingerprint = fingerprint
+        self._prefix_closure = None
+        self._prefix_closure_size = None
         return self
 
     # ---------------------------------------------------------------- width

@@ -406,42 +406,60 @@ class AlgebraBackend(EngineBackend):
     priority = 10
 
     def eligible(self, formula, structure, database):
-        from repro.engine.planner import algebra_eligible
+        from repro.algebra.ranf import translation_verdict
 
-        ok, reason = restricted_output_gate(formula, database)
-        if not ok:
-            return ok, reason
-        if not algebra_eligible(formula):
+        verdict = translation_verdict(formula, structure)
+        if not verdict.ok:
+            where = f" at {verdict.bail_node}" if verdict.bail_node else ""
             return False, (
-                "not an ADOM-only collapsed query: Theorem 4's "
-                "calculus↔algebra equivalence does not apply"
+                "not range-restricted (RANF translation bailed: "
+                f"{verdict.reason}{where})"
             )
-        return True, "ADOM-only collapsed query with anchored output"
+        # The gamma-bounded branch tolerates unanchored output (its pair
+        # carries the runtime bound check), but vacuous ADOM anchoring is
+        # still degenerate — let direct answer it for free.
+        if QuantKind.ADOM in formula.quantifier_kinds() and not database.adom:
+            return False, "empty active domain: ADOM anchoring is vacuous"
+        return True, f"RANF-translatable query ({verdict.branch} branch)"
 
     def estimate_cost(self, formula, structure, database, slack, planner):
+        from repro.algebra import ranf
         from repro.engine.planner import estimate_algebra_cost
 
         cost = estimate_algebra_cost(formula, structure, database, slack)
         if cost != float("inf"):
             # Fixed compile+rewrite setup, so tiny queries stay direct.
             cost += planner.algebra_setup
+            verdict = ranf.translation_verdict(formula, structure)
+            if (
+                verdict.ok
+                and verdict.branch != "collapsed"
+                and not ranf.has_translation(
+                    formula, structure, database.schema, slack
+                )
+            ):
+                # The RANF pass itself; amortized away once the pair is
+                # in the translation cache.
+                cost += planner.ranf_setup
         return cost
 
     def prepare_forced(self, formula, structure, slack):
         # Same restricted semantics as a forced direct engine: collapse
-        # NATURAL quantifiers (default slack 1), then compile to RA(M).
-        # Fail here, at plan time, if the collapsed formula still is not
-        # compilable — a clearer error than one mid-execution.
-        from repro.algebra.compile import CompileError, is_collapsed_form
+        # NATURAL quantifiers (default slack 1), then require the result
+        # to be RANF-translatable — strictly wider than the historical
+        # collapsed-form check.  Fail here, at plan time, if even the
+        # collapsed formula bails — a clearer error than one
+        # mid-execution.
+        from repro.algebra.compile import CompileError
+        from repro.algebra.ranf import translation_verdict
         from repro.eval.collapse import collapse
-        from repro.logic.transform import flatten_terms
 
         collapsed = collapse(formula, structure, slack=1 if slack is None else slack)
-        if not is_collapsed_form(flatten_terms(collapsed.formula)):
+        verdict = translation_verdict(collapsed.formula, structure)
+        if not verdict.ok:
             raise CompileError(
-                "algebra engine needs a collapsed-form query: database "
-                "relations occur under non-ADOM quantifiers even after "
-                "collapsing"
+                "algebra engine cannot evaluate this query even after "
+                f"collapsing: RANF translation bailed: {verdict.reason}"
             )
         return (
             collapsed.formula,
@@ -451,7 +469,7 @@ class AlgebraBackend(EngineBackend):
 
     def chosen_reason(self, costs, planner):
         return (
-            "ADOM-only collapsed query: set-at-a-time hash joins "
+            "RANF-translatable query: set-at-a-time hash joins "
             f"estimated cheapest (≈{_fmt_cost(costs[self.name])} row "
             f"ops vs ≈{_fmt_cost(costs.get('direct', float('inf')))} "
             "direct checks)"
@@ -483,19 +501,51 @@ class AlgebraBackend(EngineBackend):
 
         maintained = maintenance.maintain_algebra_result(plan, database)
         if maintained is not None:
+            # Maintained (and whole-result-cached) runs reuse a prior
+            # full run's answer, whose "infinite" check already passed.
             columns, rows = maintained
             if isinstance(observer, AlgebraTrace):
                 observer.cached = True
         else:
-            columns, rows, stats = run_algebra(
-                plan.formula,
-                plan.structure,
-                database,
-                slack=plan.slack,
-                recorder=maintenance.subplan_recorder(plan.structure, database),
-            )
-            if isinstance(observer, AlgebraTrace):
-                observer.stats = stats
+            from repro.algebra.ranf import run_ranf, translation_verdict
+
+            verdict = translation_verdict(plan.formula, plan.structure)
+            if verdict.ok and verdict.branch != "collapsed":
+                run = run_ranf(
+                    plan.formula,
+                    plan.structure,
+                    database,
+                    slack=plan.slack,
+                    recorder=maintenance.subplan_recorder(plan.structure, database),
+                )
+                if isinstance(observer, AlgebraTrace):
+                    observer.ranf_branch = run.branch
+                    observer.inf_stats = run.inf_stats
+                    observer.infinite = run.infinite
+                if run.infinite:
+                    # The runtime bound certificate failed: the natural
+                    # result may be infinite; defer to the exact engine
+                    # (correctness fallback, never a wrong answer).
+                    from repro.eval.automata_engine import AutomataEngine
+
+                    result = AutomataEngine(
+                        plan.structure, database, slack=plan.slack, cache=cache
+                    ).run(plan.formula)
+                    cache.put(key, (result.variables, result.relation))
+                    return result
+                columns, rows = run.columns, run.rows
+                if isinstance(observer, AlgebraTrace):
+                    observer.stats = run.stats
+            else:
+                columns, rows, stats = run_algebra(
+                    plan.formula,
+                    plan.structure,
+                    database,
+                    slack=plan.slack,
+                    recorder=maintenance.subplan_recorder(plan.structure, database),
+                )
+                if isinstance(observer, AlgebraTrace):
+                    observer.stats = stats
         relation = RelationAutomaton.from_tuples(
             plan.structure.alphabet, len(columns), rows
         )
@@ -509,9 +559,35 @@ class AlgebraBackend(EngineBackend):
         return AlgebraTrace()
 
     def trace_tree(self, plan, observer, seconds):
-        from repro.engine.explain import op_stats_to_explain, plan_tree_to_explain
+        from repro.engine.explain import (
+            ExplainNode,
+            op_stats_to_explain,
+            plan_tree_to_explain,
+        )
 
         stats = getattr(observer, "stats", None)
+        branch = getattr(observer, "ranf_branch", None)
+        inf_stats = getattr(observer, "inf_stats", None)
+        if branch is not None and (stats is not None or inf_stats is not None):
+            # A RANF pair ran: show both halves under one root, annotated
+            # with the branch that fired and the infinity-check outcome.
+            children = []
+            if inf_stats is not None:
+                inf_node = op_stats_to_explain(inf_stats)
+                inf_node.annotations["half"] = "inf"
+                children.append(inf_node)
+            if stats is not None:
+                fin_node = op_stats_to_explain(stats)
+                fin_node.annotations["half"] = "fin"
+                children.append(fin_node)
+            notes: dict[str, object] = {"branch": branch}
+            if getattr(observer, "infinite", False):
+                notes["infinite"] = True
+                notes["fallback"] = "automata"
+            return ExplainNode(
+                f"ranf[{branch}]", "RanfPair", seconds=seconds,
+                annotations=notes, children=children,
+            )
         if stats is not None:
             return op_stats_to_explain(stats)
         if getattr(observer, "cached", False):
@@ -537,18 +613,22 @@ class CodegenBackend(EngineBackend):
         from repro.algebra.codegen import shape_supported
         from repro.engine.planner import algebra_eligible
 
+        # Codegen compiles only the finite half of a RANF pair, so it
+        # keeps the anchored-output gate: the gamma-bounded branch (whose
+        # pair carries a runtime infinity check) stays on the interpreted
+        # algebra backend.
         ok, reason = restricted_output_gate(formula, database)
         if not ok:
             return ok, reason
-        if not algebra_eligible(formula):
+        if not algebra_eligible(formula, structure):
             return False, (
-                "not an ADOM-only collapsed query: codegen compiles "
-                "exactly the algebra engine's regime"
+                "not RANF-translatable: codegen compiles exactly the "
+                "algebra engine's (widened) regime"
             )
         ok, why = shape_supported(formula, structure, database.schema)
         if not ok:
             return False, f"plan shape not fuseable: {why}"
-        return True, "ADOM-only collapsed query with a fuseable plan shape"
+        return True, "RANF-translatable query with a fuseable plan shape"
 
     def estimate_cost(self, formula, structure, database, slack, planner):
         from repro.algebra.codegen import has_pipeline
@@ -564,19 +644,30 @@ class CodegenBackend(EngineBackend):
         scaled = cost * CODEGEN_ROW_FACTOR
         if not has_pipeline(formula, structure, database.schema, slack):
             scaled += planner.codegen_setup
+            from repro.algebra import ranf
+
+            verdict = ranf.translation_verdict(formula, structure)
+            if (
+                verdict.ok
+                and verdict.branch != "collapsed"
+                and not ranf.has_translation(
+                    formula, structure, database.schema, slack
+                )
+            ):
+                scaled += planner.ranf_setup
         return scaled
 
     def prepare_forced(self, formula, structure, slack):
-        from repro.algebra.compile import CompileError, is_collapsed_form
+        from repro.algebra.compile import CompileError
+        from repro.algebra.ranf import translation_verdict
         from repro.eval.collapse import collapse
-        from repro.logic.transform import flatten_terms
 
         collapsed = collapse(formula, structure, slack=1 if slack is None else slack)
-        if not is_collapsed_form(flatten_terms(collapsed.formula)):
+        verdict = translation_verdict(collapsed.formula, structure)
+        if not verdict.ok:
             raise CompileError(
-                "codegen engine needs a collapsed-form query: database "
-                "relations occur under non-ADOM quantifiers even after "
-                "collapsing"
+                "codegen engine cannot evaluate this query even after "
+                f"collapsing: RANF translation bailed: {verdict.reason}"
             )
         return (
             collapsed.formula,

@@ -137,6 +137,13 @@ class AlgebraTrace:
     def __init__(self) -> None:
         self.stats = None  # Optional[repro.algebra.exec.OpStats]
         self.cached = False
+        # RANF-translated runs (repro.algebra.ranf): which branch fired,
+        # the stats of the pair's "infinite" half (None when that half is
+        # omitted or a cached/maintained result skipped the run), and
+        # whether the runtime bound check tripped (automata took over).
+        self.ranf_branch = None  # Optional[str]
+        self.inf_stats = None  # Optional[repro.algebra.exec.OpStats]
+        self.infinite = False
 
 
 class CodegenTrace:

@@ -122,6 +122,15 @@ CODEGEN_SETUP_COST = 6_000.0
 #: pays at every operator boundary (measured >=2x in bench_codegen.py).
 CODEGEN_ROW_FACTOR = 0.5
 
+#: Fixed cost (in direct-check units) charged to the algebra/codegen
+#: engines when the query needs the RANF translation
+#: (:mod:`repro.algebra.ranf`) and no translated pair is cached yet:
+#: the widened compiler does strictly more work than the collapsed-form
+#: fast path (verdict analysis, per-quantifier domain constructions, the
+#: ``fin``/``inf`` split).  The translation cache amortizes it away, so
+#: repeated queries see only the per-row cost.
+RANF_SETUP_COST = 1_500.0
+
 _INF = float("inf")
 
 
@@ -183,6 +192,11 @@ class Plan:
     anchored_free: bool
     fingerprint: str = ""
     db_stats: dict[str, object] = field(default_factory=dict)
+    #: Per-backend ineligibility reasons from the auto gate (empty for
+    #: forced plans): why each blocked backend dropped out — the regime
+    #: observability the RANF work needs (`algebra: ... RANF translation
+    #: bailed: <node>`).
+    ineligible: dict[str, str] = field(default_factory=dict)
 
     # Legacy accessors (pre-registry plans stored one field per engine).
     @property
@@ -213,6 +227,7 @@ class Plan:
             "negation_depth": self.negation_depth,
             "anchored_free": self.anchored_free,
             "db_stats": dict(self.db_stats),
+            "ineligible": dict(self.ineligible),
             "tree": self.root.to_dict(),
         }
 
@@ -224,8 +239,10 @@ class Plan:
         lines = [
             f"engine: {self.engine} ({mode}) — {self.reason}",
             f"estimated cost: {shown}  (slack={self.slack})",
-            self.root.render(),
         ]
+        for name in sorted(self.ineligible):
+            lines.append(f"ineligible: {name}: {self.ineligible[name]}")
+        lines.append(self.root.render())
         return "\n".join(lines)
 
 
@@ -303,7 +320,7 @@ def domain_size_estimate(
     if kind is QuantKind.ADOM:
         return float(max(len(database.adom), 1))
     if kind is QuantKind.PREFIX:
-        closure = len(database.adom_prefix_closure()) or 1
+        closure = database.adom_prefix_closure_size() or 1
         return closure * _geometric(sigma, slack)
     if kind is QuantKind.LENGTH:
         max_len = max(database.max_string_length, 0)
@@ -398,19 +415,32 @@ def estimate_automata_cost(
     return min(states(formula) * column_factor, 1e15)
 
 
-def algebra_eligible(formula: Formula) -> bool:
+def algebra_eligible(
+    formula: Formula, structure: Optional[StringStructure] = None
+) -> bool:
     """True when the set-at-a-time algebra engine provably agrees with the
-    other engines on ``formula`` (and its answer is slack-independent).
+    other engines on ``formula``.
 
-    The regime is: after term flattening the query still only has ADOM
-    quantifiers (flattening introduces NATURAL quantifiers for function
-    terms under database atoms, which would break this) and is in
-    collapsed form, so Theorem 4's calculus↔algebra equivalence applies
-    with every quantifier ranging over the *exact* active domain.  The
-    planner additionally only consults this in the branch where all free
-    variables are anchored, so the compiled plan's output equals the
-    restricted (= natural, by anchoring) semantics.
+    With a ``structure``, the regime is everything the RANF translation
+    (:mod:`repro.algebra.ranf`) handles: the legacy ADOM-only collapsed
+    fragment, anchored queries with restricted PREFIX/LENGTH quantifiers
+    compiled directly to algebra, and ``gamma``-bounded queries whose
+    unanchored free variables carry a domain-independence certificate
+    (:func:`repro.safety.bounded.range_bounded_variables`).  The verdict
+    is memoized per canonical fingerprint — negative ones included
+    (``planner.eligibility_memo_hits``).
+
+    Without a ``structure`` this is the historical syntactic gate: after
+    term flattening the query still only has ADOM quantifiers
+    (flattening introduces NATURAL quantifiers for function terms under
+    database atoms, which would break this) and is in collapsed form, so
+    Theorem 4's calculus↔algebra equivalence applies with every
+    quantifier ranging over the *exact* active domain.
     """
+    if structure is not None:
+        from repro.algebra.ranf import translation_verdict
+
+        return translation_verdict(formula, structure).ok
     from repro.algebra.compile import is_collapsed_form
     from repro.logic.transform import flatten_terms
 
@@ -433,13 +463,24 @@ def estimate_algebra_cost(
     conjunction is a hash-join chain (cost = inputs + output rows, output
     estimated with an ``1/adom`` selectivity per shared variable),
     negation adds a difference against an active-domain bound, ADOM
-    quantifiers project.  Returns ``inf`` when :func:`algebra_eligible`
-    is false.  Like the direct estimate, the absolute value only matters
-    relative to the other engines' estimates.
+    quantifiers project.  PREFIX/LENGTH quantifiers (the RANF-widened
+    regime) charge the per-row candidate construction — body cardinality
+    times string length per context column — plus the context-free
+    domain part; database-free NATURAL quantifiers fold into selection
+    conditions.  Returns ``inf`` when :func:`algebra_eligible` is false.
+    Like the direct estimate, the absolute value only matters relative
+    to the other engines' estimates.
     """
-    if not algebra_eligible(formula):
+    if not algebra_eligible(formula, structure):
         return _INF
     adom = float(max(len(database.adom), 1))
+    length = float(max(database.max_string_length, 1))
+    # Size of the ambient gamma bound: what one column of a database-free
+    # condition's candidate relation costs (prefix closure on S/S_left,
+    # the exponential length ball on S_len).
+    bound_size = domain_size_estimate(
+        structure.restricted_kind, structure, database, slack
+    )
 
     def go(f: Formula) -> tuple[float, float]:
         """Returns ``(cost, card)`` — work done and output-row estimate."""
@@ -451,7 +492,15 @@ def estimate_algebra_cost(
             )
             return (max(n, 1.0), max(n, 1.0))
         if isinstance(f, (Atom, TrueF, FalseF)):
-            return (1.0, 1.0)
+            k = len(f.free_variables())
+            if k == 0:
+                return (1.0, 1.0)
+            # A database-free condition compiles to a selection over the
+            # gamma bound's k-th power (the compiler's _condition_plan)
+            # and only then joins its anchoring relations — that power is
+            # materialized, so it is the honest price.
+            size = min(bound_size**k, _INF)
+            return (size, max(size / adom, 1.0))
         if isinstance(f, Not):
             cost, card = go(f.inner)
             # Anti-join against the ADOM bound of the negated columns.
@@ -477,6 +526,25 @@ def estimate_algebra_cost(
             )
         if isinstance(f, (Exists, Forall)):
             cost, card = go(f.body)
+            if f.kind is QuantKind.NATURAL:
+                # Database-free scope: compiled into a selection condition.
+                return (cost + card, card)
+            if f.kind in (QuantKind.PREFIX, QuantKind.LENGTH):
+                ctx = max(len(f.free_variables()), 1)
+                if f.kind is QuantKind.PREFIX:
+                    # Context-free part: a semi-join against the closure.
+                    part_a = domain_size_estimate(
+                        f.kind, structure, database, slack
+                    ) + card
+                else:
+                    # LENGTH compiles to len_le probes, not down_i — the
+                    # exponential domain is never materialized.
+                    part_a = card * adom
+                expand = card * length * ctx + part_a
+                if isinstance(f, Forall):
+                    bound = adom ** ctx
+                    return (cost + expand + 2 * bound, bound)
+                return (cost + expand, max(card, 1.0))
             if isinstance(f, Forall):
                 # forall adom x: phi == not exists adom x: not phi — two
                 # differences against the bound on top of the body.
@@ -485,7 +553,13 @@ def estimate_algebra_cost(
             return (cost + card, max(card / adom, 1.0))
         raise EvaluationError(f"cannot cost formula node {f!r}")
 
-    cost, _ = go(formula)
+    cost, card = go(formula)
+    free = formula.free_variables()
+    if free and not free <= anchored_free_variables(formula):
+        # gamma-bounded branch: the fin half semi-joins every unanchored
+        # output column against the slack-0 gamma bound.
+        gamma = float(max(database.adom_prefix_closure_size(), 1))
+        cost += card + gamma
     return cost
 
 
@@ -499,9 +573,10 @@ class Planner:
     ----------
     structure, database:
         The evaluation context (alphabets must match).
-    ceiling, bias, algebra_setup, codegen_setup:
+    ceiling, bias, algebra_setup, codegen_setup, ranf_setup:
         Overrides for :data:`DIRECT_COST_CEILING` / :data:`DIRECT_BIAS` /
-        :data:`ALGEBRA_SETUP_COST` / :data:`CODEGEN_SETUP_COST`.
+        :data:`ALGEBRA_SETUP_COST` / :data:`CODEGEN_SETUP_COST` /
+        :data:`RANF_SETUP_COST`.
     """
 
     def __init__(
@@ -512,6 +587,7 @@ class Planner:
         bias: float = DIRECT_BIAS,
         algebra_setup: float = ALGEBRA_SETUP_COST,
         codegen_setup: float = CODEGEN_SETUP_COST,
+        ranf_setup: float = RANF_SETUP_COST,
     ):
         if structure.alphabet != database.alphabet:
             raise EvaluationError("structure and database alphabets differ")
@@ -521,6 +597,7 @@ class Planner:
         self.bias = bias
         self.algebra_setup = algebra_setup
         self.codegen_setup = codegen_setup
+        self.ranf_setup = ranf_setup
 
     # ------------------------------------------------------------- planning
 
@@ -575,6 +652,7 @@ class Planner:
                 "no registered backend is eligible for this query "
                 f"({'; '.join(why for _, why in blocked) or 'empty registry'})"
             )
+        ineligible = {backend.name: why for backend, why in blocked}
         if len(eligible) == 1:
             # No comparison to make; surface why the alternatives dropped
             # out (the highest-priority blocked backend's reason — for the
@@ -583,7 +661,7 @@ class Planner:
             reason = blocked[0][1] if blocked else "only registered backend"
             return self._make_plan(
                 formula, engine=chosen.name, reason=reason,
-                forced=False, slack=effective,
+                forced=False, slack=effective, ineligible=ineligible,
             )
         costs = self._costs(formula, effective)
         scaled = {b.name: b.decision_cost(costs[b.name], self) for b in eligible}
@@ -595,6 +673,7 @@ class Planner:
             forced=False,
             slack=effective,
             costs=costs,
+            ineligible=ineligible,
         )
 
     # ------------------------------------------------------------ plan build
@@ -616,6 +695,7 @@ class Planner:
         forced: bool,
         slack: int,
         costs: Optional[dict[str, float]] = None,
+        ineligible: Optional[dict[str, str]] = None,
     ) -> Plan:
         anchored = anchored_free_variables(formula)
         free = formula.free_variables()
@@ -639,11 +719,12 @@ class Planner:
             anchored_free=bool(free <= anchored),
             db_stats={
                 "adom_size": len(db.adom),
-                "prefix_closure_size": len(db.adom_prefix_closure()),
+                "prefix_closure_size": db.adom_prefix_closure_size(),
                 "max_string_length": db.max_string_length,
                 "tuples": db.size,
                 "alphabet_size": len(db.alphabet),
             },
+            ineligible=dict(ineligible or {}),
         )
 
     def _node(self, f: Formula, slack: int) -> PlanNode:

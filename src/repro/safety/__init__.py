@@ -8,9 +8,17 @@ The paper's Section 6 (and its Section 7 extensions), executable:
 * :func:`enumerate_safe_queries` — Corollaries 5/9 (effective syntax);
 * :func:`finiteness_formula` — finiteness definable with parameters in
   S_len (and, per Proposition 6, *not* in S — demonstrated in the EF-game
-  tests).
+  tests);
+* :func:`range_bounded_variables` — the semantic domain-independence
+  certificate consumed by the RANF translation
+  (:mod:`repro.algebra.ranf`, Raszyk et al. arXiv 2210.09964).
 """
 
+from repro.safety.bounded import (
+    MAX_PATTERN_WORDS,
+    BoundedReport,
+    range_bounded_variables,
+)
 from repro.safety.cq_safety import (
     ConjunctiveQuery,
     cq_is_safe,
@@ -26,6 +34,8 @@ from repro.safety.range_restriction import (
 from repro.safety.state_safety import SafetyReport, analyze_state_safety, is_safe_on
 
 __all__ = [
+    "MAX_PATTERN_WORDS",
+    "BoundedReport",
     "ConjunctiveQuery",
     "RangeRestrictedQuery",
     "SafetyReport",
@@ -35,6 +45,7 @@ __all__ = [
     "finiteness_formula",
     "is_safe_on",
     "output_bound_relation",
+    "range_bounded_variables",
     "range_restrict",
     "union_is_safe",
 ]

@@ -138,11 +138,25 @@ class TestPlannerConsidersRegisteredBackends:
         assert plan.engine == "direct"
 
     def test_ineligible_backends_are_counted(self, db):
+        # NATURAL over a database-dependent scope: direct cannot
+        # enumerate it and the RANF translation bails, so algebra is
+        # counted out too (a db-free NATURAL scope would now pass — the
+        # RANF translation widened that regime).
         Planner(by_name("S", db.alphabet), db.db).plan(
-            parse_formula("R(x) & exists y: y <<= x")  # NATURAL
+            parse_formula("exists x: (R(x) & exists y: (y <<= x & S(y)))")
         )
         assert METRICS.get("planner.backend.direct.ineligible") == 1
         assert METRICS.get("planner.backend.algebra.ineligible") == 1
+
+    def test_db_free_natural_scope_now_algebra_eligible(self, db):
+        # The formula the old syntactic gate rejected outright.
+        plan = Planner(by_name("S", db.alphabet), db.db).plan(
+            parse_formula("R(x) & exists y: y <<= x")  # NATURAL, db-free scope
+        )
+        assert METRICS.get("planner.backend.direct.ineligible") == 1
+        assert METRICS.get("planner.backend.algebra.ineligible") == 0
+        assert "direct" in plan.ineligible
+        assert "algebra" not in plan.ineligible
 
 
 class TestUnknownEngineEverywhere:

@@ -21,6 +21,7 @@ from repro.structures.catalog import by_name
 
 ANCHORED_ADOM = "R(x) & exists adom y: S(y) & y <<= x"
 NATURAL = "R(x) & exists y: y <<= x"
+NATURAL_DB = "R(x) & exists y: (y <<= x & S(y))"
 UNANCHORED = "last(x, '0')"
 
 
@@ -45,11 +46,24 @@ class TestEngineSelection:
         assert plan.direct_cost <= plan.automata_cost
         assert "small enumeration domain" in plan.reason
 
-    def test_natural_quantifier_goes_automata(self, db):
-        plan = Query(NATURAL, structure="S").plan(db)
+    def test_db_dependent_natural_quantifier_goes_automata(self, db):
+        # NATURAL over a scope that reads the database: no restricted
+        # engine (nor the RANF translation) can evaluate it.
+        plan = Query(NATURAL_DB, structure="S").plan(db)
         assert plan.engine == "automata"
         assert "NATURAL" in plan.reason
         assert plan.direct_cost == float("inf")
+
+    def test_db_free_natural_scope_now_fast_engine(self, db):
+        # The old gate sent every NATURAL quantifier to automata; the
+        # RANF translation evaluates db-free scopes as per-row
+        # conditions, so a fast engine takes it (direct still cannot).
+        plan = Query(NATURAL, structure="S").plan(db)
+        assert plan.engine in ("algebra", "codegen")
+        assert plan.direct_cost == float("inf")
+        got = Query(NATURAL, structure="S").result(db).as_set()
+        want = Query(NATURAL, structure="S").result(db, engine="automata").as_set()
+        assert got == want
 
     def test_unanchored_output_goes_automata(self, db):
         # x is constrained only by a string predicate; truncating its
@@ -84,7 +98,7 @@ class TestEngineSelection:
 
     def test_planner_counters(self, db):
         Query(ANCHORED_ADOM, structure="S").plan(db)
-        Query(NATURAL, structure="S").plan(db)
+        Query(NATURAL_DB, structure="S").plan(db)
         assert METRICS.get("planner.plans") == 2
         assert METRICS.get("planner.backend.direct.chosen") == 1
         assert METRICS.get("planner.backend.automata.chosen") == 1
@@ -181,7 +195,7 @@ class TestExplain:
         assert report.finite
 
     def test_tree_shape_automata(self, db):
-        report = Query(NATURAL, structure="S").explain(db)
+        report = Query(NATURAL_DB, structure="S").explain(db)
         assert report.plan.engine == "automata"
         # Automata trees annotate nodes with automaton sizes.
         assert report.root.states is not None
@@ -189,7 +203,7 @@ class TestExplain:
         assert report.root.children  # compiled subformulas appear
 
     def test_to_dict_is_json_serializable(self, db):
-        for query in (ANCHORED_ADOM, NATURAL):
+        for query in (ANCHORED_ADOM, NATURAL_DB):
             payload = Query(query, structure="S").explain(db).to_dict()
             decoded = json.loads(json.dumps(payload))
             assert decoded["plan"]["engine"] in ("direct", "automata")
